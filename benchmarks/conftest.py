@@ -1,0 +1,37 @@
+"""Shared fixtures for the per-figure benchmark harnesses.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+regenerated rows/series printed for each table and figure).
+"""
+
+import pytest
+
+from repro.experiments.common import build_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    """Suite + execution models for all seven Table 2 platforms.
+
+    Session-scoped: building it compiles every benchmark model for each
+    DSA-backed platform once.
+    """
+    return build_context()
+
+
+def print_table(title, rows):
+    """Render a list-of-dicts as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(empty)")
+        return
+    keys = list(rows[0])
+    widths = {
+        k: max(len(str(k)), *(len(str(row.get(k, ""))) for row in rows))
+        for k in keys
+    }
+    header = "  ".join(str(k).ljust(widths[k]) for k in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(k, "")).ljust(widths[k]) for k in keys))

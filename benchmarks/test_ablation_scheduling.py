@@ -1,0 +1,92 @@
+"""Ablation: scheduling policies (paper §5.3 future-work directions).
+
+Compares FCFS (the paper's deployed policy) against SJF, criticality-, and
+DAG-aware queue policies on an overloaded baseline rack.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.cluster.simulation import RackSimulation
+from repro.cluster.schedulers import PolicyFactory
+from repro.cluster.trace import TraceGenerator
+from repro.experiments.common import BASELINE_NAME, build_context
+
+
+def test_ablation_scheduling_policies(benchmark):
+    def run():
+        context = build_context(platform_names=[BASELINE_NAME])
+        model = context.models[BASELINE_NAME]
+        suite = context.applications
+        estimates = {
+            name: model.invoke(app, np.random.default_rng(0)).latency_seconds
+            for name, app in suite.items()
+        }
+        generator = TraceGenerator(
+            list(suite), rate_envelope=(30.0, 60.0, 30.0), segment_seconds=30.0
+        )
+        trace = generator.generate(np.random.default_rng(3))
+        policies = {
+            "FCFS (paper)": PolicyFactory("fcfs"),
+            "SJF": PolicyFactory("sjf", service_estimates=estimates),
+            "Criticality": PolicyFactory(
+                "criticality", priorities={"Remote Sensing": 0}
+            ),
+            "DAG-aware": PolicyFactory("dag", applications=suite),
+        }
+        rows = []
+        for label, factory in policies.items():
+            series = RackSimulation(
+                model, suite, max_instances=8, seed=11, policy=factory
+            ).run(trace)
+            rows.append(
+                {
+                    "policy": label,
+                    "mean latency(ms)": round(series.mean_latency_seconds * 1e3),
+                    "p-completed": len(series.completed_latency_seconds),
+                    "peak queue": int(series.queue_depth.max()),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: scheduling policies on an overloaded rack", rows)
+    by_policy = {row["policy"]: row for row in rows}
+    # The classic result: SJF minimises mean latency under overload.
+    assert (
+        by_policy["SJF"]["mean latency(ms)"]
+        <= by_policy["FCFS (paper)"]["mean latency(ms)"]
+    )
+
+
+def test_ablation_chain_fusion(benchmark):
+    """Paper §5.3 function chaining: fuse DSA-chained functions' P2P hop."""
+    from repro.core.model import ServerlessExecutionModel
+    from repro.platforms.registry import dscs_dsa
+
+    def run():
+        context = build_context(platform_names=[BASELINE_NAME])
+        rows = []
+        plain = ServerlessExecutionModel(platform=dscs_dsa())
+        fused = ServerlessExecutionModel(
+            platform=dscs_dsa(), fuse_chained_functions=True
+        )
+        for name, app in context.applications.items():
+            extended = app.with_extra_inference_stages(2)
+            # Matched congestion draws so the comparison isolates fusion.
+            p = plain.invoke(extended, np.random.default_rng(7)).latency_seconds
+            f = fused.invoke(extended, np.random.default_rng(7)).latency_seconds
+            rows.append(
+                {
+                    "benchmark": name[:24],
+                    "unfused(ms)": round(p * 1e3, 1),
+                    "fused(ms)": round(f * 1e3, 1),
+                    "gain": round(p / f, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: DSA chain fusion on +2-stage pipelines", rows)
+    assert all(row["gain"] >= 1.0 for row in rows)
+    assert any(row["gain"] > 1.02 for row in rows)

@@ -1,0 +1,29 @@
+"""Fig. 3: CDF of reading inputs from remote storage (10,000 reads each)."""
+
+from conftest import print_table
+
+from repro.experiments import fig03
+from repro.experiments.calibration import PAPER_REQUESTS_PER_MEASUREMENT
+
+
+def test_fig03_s3_read_cdf(benchmark):
+    results = benchmark.pedantic(
+        fig03.run,
+        kwargs={"samples": PAPER_REQUESTS_PER_MEASUREMENT},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        {
+            "benchmark": r.benchmark,
+            "median(ms)": round(r.median * 1e3, 1),
+            "p99(ms)": round(r.p99 * 1e3, 1),
+            "p99/median": round(r.tail_ratio, 2),
+        }
+        for r in results.values()
+    ]
+    print_table("Fig. 3: remote read latency (paper band: 0.02-0.2 s)", rows)
+    avg_ratio = fig03.average_tail_ratio(results)
+    print(f"average p99/median: {avg_ratio:.2f}  (paper: ~2.1)")
+    assert 1.5 < avg_ratio < 2.8
+    benchmark.extra_info["avg_tail_ratio"] = round(avg_ratio, 3)

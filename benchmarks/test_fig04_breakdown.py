@@ -1,0 +1,29 @@
+"""Fig. 4: baseline runtime breakdown (compute / communication / stack)."""
+
+from conftest import print_table
+
+from repro.experiments import fig04
+
+
+def test_fig04_breakdown(benchmark):
+    shares = benchmark.pedantic(
+        fig04.run, kwargs={"averages_of": 64}, rounds=1, iterations=1
+    )
+    rows = [
+        {
+            "benchmark": r.benchmark,
+            "total(ms)": round(r.total_seconds * 1e3, 1),
+            "communication": f"{r.communication:.1%}",
+            "compute": f"{r.compute:.1%}",
+            "system stack": f"{r.system_stack:.1%}",
+        }
+        for r in shares.values()
+    ]
+    print_table("Fig. 4: baseline runtime breakdown", rows)
+    avg_comm = fig04.average_communication_share(shares)
+    cap = fig04.average_compute_cap(shares)
+    print(f"average communication share: {avg_comm:.1%}  (paper: >55%)")
+    print(f"compute-only acceleration cap: {cap:.2f}x  (paper: 1.52x)")
+    assert avg_comm > 0.55
+    benchmark.extra_info["avg_communication"] = round(avg_comm, 3)
+    benchmark.extra_info["amdahl_cap"] = round(cap, 3)

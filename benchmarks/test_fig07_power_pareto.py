@@ -1,0 +1,35 @@
+"""Fig. 7: power-performance Pareto frontier of the DSA design space."""
+
+from conftest import print_table
+
+from repro.experiments import fig07
+from repro.experiments.calibration import PAPER_MIN_DESIGN_POINTS
+from repro.dse.space import paper_search_space_size
+
+
+def test_fig07_power_pareto(benchmark):
+    # The coarse square-array sweep reproduces the frontier shape quickly;
+    # the enumerated full space exceeds the paper's >650 points.
+    assert paper_search_space_size() > PAPER_MIN_DESIGN_POINTS
+    study = benchmark.pedantic(
+        fig07.run, kwargs={"square_only": True}, rounds=1, iterations=1
+    )
+    frontier_rows = [
+        {
+            "config": r.label,
+            "fps": round(r.throughput_fps, 1),
+            "dyn power(W)": round(r.dynamic_power_watts, 2),
+            "feasible@14nm": r.feasible,
+        }
+        for r in sorted(study.frontier, key=lambda r: r.throughput_fps)
+    ]
+    print_table(
+        f"Fig. 7: power-performance frontier "
+        f"({study.num_points} points evaluated; full space "
+        f"{paper_search_space_size()})",
+        frontier_rows,
+    )
+    print(f"best feasible point: {study.best_feasible.label}  (paper: Dim128-4MB-DDR5)")
+    assert study.best_feasible.config.pe_rows == 128
+    assert study.best_feasible.config.memory.name in ("DDR5", "HBM2")
+    benchmark.extra_info["best_feasible"] = study.best_feasible.label

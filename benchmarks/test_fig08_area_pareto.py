@@ -1,0 +1,26 @@
+"""Fig. 8: area-performance Pareto frontier of the DSA design space."""
+
+from conftest import print_table
+
+from repro.experiments import fig08
+
+
+def test_fig08_area_pareto(benchmark):
+    study = benchmark.pedantic(
+        fig08.run, kwargs={"square_only": True}, rounds=1, iterations=1
+    )
+    frontier_rows = [
+        {
+            "config": r.label,
+            "fps": round(r.throughput_fps, 1),
+            "area(mm2)": round(r.area_mm2, 1),
+        }
+        for r in sorted(study.frontier, key=lambda r: r.throughput_fps)
+    ]
+    print_table("Fig. 8: area-performance frontier (45 nm)", frontier_rows)
+    # Shape check: the frontier spans small-cheap to large-expensive, with
+    # the big arrays reaching thousands of mm^2 as in the paper.
+    areas = [r.area_mm2 for r in study.results]
+    assert max(areas) > 3000
+    assert min(areas) < 50
+    benchmark.extra_info["max_area_mm2"] = round(max(areas), 1)

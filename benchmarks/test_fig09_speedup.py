@@ -1,0 +1,31 @@
+"""Fig. 9: normalized end-to-end speedup for every platform (p95 of 10k)."""
+
+from conftest import print_table
+
+from repro.experiments import fig09
+from repro.experiments.calibration import PAPER_REQUESTS_PER_MEASUREMENT
+from repro.experiments.common import DSCS_NAME
+
+
+def test_fig09_speedup(benchmark, context):
+    study = benchmark.pedantic(
+        fig09.run,
+        kwargs={"count": PAPER_REQUESTS_PER_MEASUREMENT, "context": context},
+        rounds=1,
+        iterations=1,
+    )
+    app_names = list(next(iter(study.speedups.values())))
+    rows = []
+    for platform, per_app in study.speedups.items():
+        row = {"platform": platform}
+        row.update({name[:18]: round(value, 2) for name, value in per_app.items()})
+        row["geomean"] = round(study.geomean(platform), 2)
+        rows.append(row)
+    print_table("Fig. 9: normalized speedup (vs Baseline CPU)", rows)
+    print(f"DSCS vs CPU    : {study.geomean(DSCS_NAME):.2f}  (paper 3.6)")
+    print(f"DSCS vs GPU    : {study.relative(DSCS_NAME, 'GPU'):.2f}  (paper 2.7)")
+    print(f"DSCS vs NS-ARM : {study.relative(DSCS_NAME, 'NS-ARM'):.2f}  (paper 3.7)")
+    print(f"DSCS vs NS-FPGA: {study.relative(DSCS_NAME, 'NS-FPGA'):.2f}  (paper 1.7)")
+    assert 3.0 < study.geomean(DSCS_NAME) < 4.5
+    benchmark.extra_info["dscs_geomean"] = round(study.geomean(DSCS_NAME), 3)
+    benchmark.extra_info["apps"] = app_names

@@ -1,0 +1,50 @@
+"""Fig. 10: runtime breakdown per platform per benchmark."""
+
+from conftest import print_table
+
+from repro.core.breakdown import Component
+from repro.experiments import fig10
+
+
+def test_fig10_runtime_breakdown(benchmark, context):
+    results = benchmark.pedantic(
+        fig10.run, kwargs={"averages_of": 32, "context": context},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for platform, per_app in results.items():
+        for app, breakdown in per_app.items():
+            comm = sum(
+                breakdown.fraction(c)
+                for c in (
+                    Component.REMOTE_READ,
+                    Component.REMOTE_WRITE,
+                    Component.LOCAL_READ,
+                    Component.LOCAL_WRITE,
+                    Component.P2P_READ,
+                    Component.P2P_WRITE,
+                    Component.DEVICE_COPY,
+                )
+            )
+            rows.append(
+                {
+                    "platform": platform,
+                    "benchmark": app[:22],
+                    "total(ms)": round(breakdown.total_seconds * 1e3, 1),
+                    "comm": f"{comm:.0%}",
+                    "compute": f"{breakdown.fraction(Component.COMPUTE) + breakdown.fraction(Component.CPU_COMPUTE):.0%}",
+                    "stack": f"{breakdown.fraction(Component.SYSTEM_STACK):.0%}",
+                    "driver": f"{breakdown.fraction(Component.DRIVER):.0%}",
+                }
+            )
+    print_table("Fig. 10: runtime breakdown", rows)
+
+    # Paper shape: the DSCS bottleneck shifts away from communication and
+    # compute towards the system stack and the CPU-resident f3.
+    dscs = results["DSCS-Serverless"]
+    cpu = results["Baseline (CPU)"]
+    for app in dscs:
+        dscs_stack = dscs[app].fraction(Component.SYSTEM_STACK)
+        cpu_stack = cpu[app].fraction(Component.SYSTEM_STACK)
+        assert dscs_stack > cpu_stack
+    benchmark.extra_info["platforms"] = list(results)

@@ -1,0 +1,28 @@
+"""Fig. 11: normalized system energy reduction."""
+
+from conftest import print_table
+
+from repro.experiments import fig11
+from repro.experiments.common import DSCS_NAME
+
+
+def test_fig11_energy(benchmark, context):
+    study = benchmark.pedantic(
+        fig11.run, kwargs={"averages_of": 32, "context": context},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for platform, per_app in study.reductions.items():
+        row = {"platform": platform}
+        row.update({name[:18]: round(v, 2) for name, v in per_app.items()})
+        row["geomean"] = round(study.geomean(platform), 2)
+        rows.append(row)
+    print_table("Fig. 11: normalized energy reduction (vs Baseline CPU)", rows)
+    print(f"DSCS vs CPU    : {study.geomean(DSCS_NAME):.2f}  (paper 3.5)")
+    print(f"DSCS vs NS-FPGA: {study.relative(DSCS_NAME, 'NS-FPGA'):.2f}  (paper 1.9)")
+    print(f"DSCS vs NS-ARM : {study.relative(DSCS_NAME, 'NS-ARM'):.2f}  (paper 4.3)")
+    print(f"DSCS vs GPU    : {study.relative(DSCS_NAME, 'GPU'):.2f}  (paper 4.2)")
+    dscs = study.reductions[DSCS_NAME]
+    assert dscs["PPE Detection"] == max(dscs.values())  # paper: ~8x max
+    assert dscs["Credit Risk Assessment"] == min(dscs.values())  # paper: ~1x min
+    benchmark.extra_info["dscs_geomean"] = round(study.geomean(DSCS_NAME), 3)

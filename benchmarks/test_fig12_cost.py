@@ -1,0 +1,29 @@
+"""Fig. 12: normalized cost efficiency (3-year TCO)."""
+
+from conftest import print_table
+
+from repro.experiments import fig12
+from repro.experiments.common import DSCS_NAME
+
+
+def test_fig12_cost(benchmark, context):
+    study = benchmark.pedantic(
+        fig12.run, kwargs={"count": 4000, "context": context},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        {
+            "platform": platform,
+            "throughput(rps)": round(study.throughput_rps[platform], 2),
+            "3yr cost($)": round(study.total_cost_usd[platform]),
+            "normalized cost-eff": round(study.normalized[platform], 2),
+        }
+        for platform in study.normalized
+    ]
+    print_table("Fig. 12: normalized cost efficiency", rows)
+    print(f"DSCS: {study.normalized[DSCS_NAME]:.2f}  (paper 3.4)")
+    print(f"NS-FPGA: {study.normalized['NS-FPGA']:.2f}  (paper 1.6)")
+    ranked = sorted(study.normalized, key=study.normalized.get, reverse=True)
+    assert ranked[0] == DSCS_NAME
+    assert ranked[1] == "NS-FPGA"
+    benchmark.extra_info["dscs_normalized"] = round(study.normalized[DSCS_NAME], 3)

@@ -1,0 +1,32 @@
+"""Fig. 16: sensitivity to the number of accelerated functions."""
+
+from conftest import print_table
+
+from repro.experiments import fig16
+
+
+def test_fig16_function_count(benchmark, context):
+    study = benchmark.pedantic(
+        fig16.run, kwargs={"count": 2000, "context": context},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for extra in sorted(study.speedups):
+        row = {"+functions": extra}
+        row.update(
+            {name[:18]: round(v, 2) for name, v in study.speedups[extra].items()}
+        )
+        row["geomean"] = round(study.geomean(extra), 2)
+        rows.append(row)
+    print_table("Fig. 16: DSCS speedup vs extra accelerated functions", rows)
+    print(
+        f"+0: {study.geomean(0):.2f} (paper 3.6); "
+        f"+3: {study.geomean(3):.2f} (paper 8.1)"
+    )
+    values = [study.geomean(extra) for extra in sorted(study.speedups)]
+    assert values == sorted(values)
+    # Paper reaches 8.1/3.6 = 2.25x escalation; ours escalates ~1.4x
+    # (documented delta in EXPERIMENTS.md: duplicated stages re-read the
+    # full tensor payload on both systems, damping the ratio).
+    assert study.geomean(3) > 1.25 * study.geomean(0)
+    benchmark.extra_info["plus3"] = round(study.geomean(3), 3)

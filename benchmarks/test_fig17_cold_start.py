@@ -1,0 +1,29 @@
+"""Fig. 17: cold vs warm containers."""
+
+from conftest import print_table
+
+from repro.experiments import fig17
+
+
+def test_fig17_cold_start(benchmark, context):
+    study = benchmark.pedantic(
+        fig17.run, kwargs={"count": 4000, "context": context},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        {
+            "benchmark": name,
+            "warm speedup": round(study.warm_speedups[name], 2),
+            "cold speedup": round(study.cold_speedups[name], 2),
+        }
+        for name in study.warm_speedups
+    ]
+    print_table("Fig. 17: cold vs warm container speedups", rows)
+    print(
+        f"warm geomean: {study.warm_geomean:.2f} (paper 3.6); "
+        f"cold geomean: {study.cold_geomean:.2f} (paper 2.6)"
+    )
+    assert study.cold_geomean < study.warm_geomean
+    assert study.cold_geomean > 1.5
+    benchmark.extra_info["warm"] = round(study.warm_geomean, 3)
+    benchmark.extra_info["cold"] = round(study.cold_geomean, 3)

@@ -1,0 +1,53 @@
+"""Roofline placement of the model zoo across candidate memory systems.
+
+Companion analysis to Figs. 7/8: shows which workloads the DSE's
+bandwidth axis is fighting for.
+"""
+
+from conftest import print_table
+
+from repro.accelerator.config import DDR4, DDR5, DSAConfig, HBM2
+from repro.analysis.roofline import analyze
+from repro.models.zoo import dlrm, gpt2_decoder, resnet50, vit
+
+
+def test_roofline_zoo(benchmark):
+    models = {
+        "resnet50": resnet50(),
+        "vit-small": vit(dim=384, layers=12, heads=6),
+        "gpt2": gpt2_decoder(seq=64, dim=768, layers=12, heads=12),
+        "dlrm": dlrm(),
+    }
+
+    def run():
+        rows = []
+        for memory in (DDR4, DDR5, HBM2):
+            config = DSAConfig(memory=memory)
+            for name, graph in models.items():
+                point = analyze(graph, config)
+                rows.append(
+                    {
+                        "memory": memory.name,
+                        "model": name,
+                        "MACs/byte": round(point.operational_intensity, 1),
+                        "ridge": round(point.ridge_intensity, 1),
+                        "bound": "compute" if point.compute_bound else "bandwidth",
+                        "roofline eff": f"{point.roofline_efficiency:.0%}",
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Roofline: zoo x memory technology (Dim128-4MB)", rows)
+
+    def bound(memory, model):
+        for row in rows:
+            if row["memory"] == memory and row["model"] == model:
+                return row["bound"]
+        raise KeyError((memory, model))
+
+    # The weight/embedding-heavy models are bandwidth-bound on DDR4.
+    assert bound("DDR4", "gpt2") == "bandwidth"
+    assert bound("DDR4", "dlrm") == "bandwidth"
+    # HBM2's ridge is low enough to flip the CNN to compute-bound.
+    assert bound("HBM2", "resnet50") == "compute"

@@ -1,0 +1,23 @@
+"""Table 1: the benchmark suite (applications, models, payloads)."""
+
+from conftest import print_table
+
+from repro.experiments.tables import table1_rows
+
+
+def test_table1_suite(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    printable = [
+        {
+            "benchmark": row["benchmark"],
+            "model": row["model"],
+            "params(M)": row["parameters_millions"],
+            "GMACs": row["gmacs"],
+            "input(MB)": row["input_mb"],
+            "output(KB)": row["output_kb"],
+        }
+        for row in rows
+    ]
+    print_table("Table 1: benchmark suite", printable)
+    assert len(rows) == 8
+    benchmark.extra_info["benchmarks"] = [row["benchmark"] for row in rows]

@@ -1,0 +1,12 @@
+"""Table 2: the evaluated platform lineup."""
+
+from conftest import print_table
+
+from repro.experiments.tables import table2_rows
+
+
+def test_table2_platforms(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    print_table("Table 2: platforms", rows)
+    assert len(rows) == 7
+    benchmark.extra_info["platforms"] = [row["platform"] for row in rows]

@@ -1,0 +1,46 @@
+"""Reproduce the paper's §4.2 design-space exploration (Figs. 7/8).
+
+Sweeps square DSA arrays across buffer sizes and memory technologies,
+prints the power- and area-performance Pareto frontiers, and shows how the
+25 W storage budget (after 14 nm scaling) lands on Dim128-4MB-DDR5.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.dse import DSEExplorer, design_space, paper_search_space_size
+from repro.models.zoo import resnet50, vit
+
+
+def main() -> None:
+    print(f"Full search space: {paper_search_space_size()} configurations "
+          f"(paper: >650)")
+    candidates = design_space(square_only=True)
+    print(f"Sweeping the {len(candidates)}-point square-array subset...\n")
+
+    explorer = DSEExplorer(eval_models=[resnet50(), vit(dim=384, layers=12, heads=6)])
+    results = explorer.sweep(candidates)
+
+    print("Power-performance Pareto frontier (Fig. 7, 45 nm):")
+    for point in sorted(explorer.power_pareto(results), key=lambda r: r.throughput_fps):
+        marker = " <= feasible in a 25 W drive" if point.feasible else ""
+        print(
+            f"  {point.label:22s} {point.throughput_fps:8.1f} fps  "
+            f"{point.dynamic_power_watts:6.2f} W{marker}"
+        )
+
+    print("\nArea-performance Pareto frontier (Fig. 8, 45 nm):")
+    for point in sorted(explorer.area_pareto(results), key=lambda r: r.throughput_fps):
+        print(
+            f"  {point.label:22s} {point.throughput_fps:8.1f} fps  "
+            f"{point.area_mm2:8.1f} mm^2"
+        )
+
+    best = explorer.best_feasible(results)
+    print(
+        f"\nBest feasible point under the storage power budget: {best.label}"
+        f"\n(paper's choice: Dim128-4MB-DDR5)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: compile a model for the in-storage DSA and compare
+end-to-end serverless execution against the CPU baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ServerlessExecutionModel,
+    StorageFabric,
+    baseline_cpu,
+    benchmark_suite,
+    compile_graph,
+    dscs_dsa,
+    paper_design_point,
+)
+from repro.models.zoo import resnet50
+
+
+def main() -> None:
+    # --- 1. Compile a model for the paper's DSA design point -------------
+    graph = resnet50()
+    executable = compile_graph(graph, paper_design_point())
+    report = executable.simulate()
+    print(f"ResNet-50 on {report.config_label}:")
+    print(f"  cycles       : {report.cycles:,}")
+    print(f"  latency      : {report.latency_s * 1e3:.2f} ms")
+    print(f"  MPU util     : {report.mpu_utilization:.1%}")
+    print(f"  energy       : {report.energy_j * 1e3:.1f} mJ (45 nm)")
+
+    # --- 2. End-to-end serverless invocation: DSCS vs baseline -----------
+    fabric = StorageFabric()
+    app = benchmark_suite()["Asset Damage Detection"]
+    cpu_model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+    dscs_model = ServerlessExecutionModel(platform=dscs_dsa(), fabric=fabric)
+
+    rng = np.random.default_rng(0)
+    cpu_result = cpu_model.invoke(app, rng)
+    dscs_result = dscs_model.invoke(app, rng)
+
+    print(f"\n{app.name}: one invocation")
+    for label, result in (("Baseline (CPU)", cpu_result), ("DSCS", dscs_result)):
+        breakdown = result.latency
+        print(
+            f"  {label:14s} total {breakdown.total * 1e3:7.1f} ms  "
+            f"(comm {breakdown.communication * 1e3:6.1f} ms, "
+            f"compute {breakdown.compute * 1e3:6.1f} ms)  "
+            f"energy {result.energy_joules:.1f} J"
+        )
+    speedup = cpu_result.latency_seconds / dscs_result.latency_seconds
+    print(f"  speedup: {speedup:.2f}x  (paper suite average: 3.6x)")
+
+    # --- 3. p95 over many requests (the paper's methodology) -------------
+    samples = dscs_model.sample_latencies(app, rng, 10_000)
+    print(f"\nDSCS p95 over 10,000 requests: {np.percentile(samples, 95) * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so the package installs editable in offline
+environments whose setuptools predates PEP 660 wheel-less editable builds.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DSCS-Serverless: in-storage domain-specific acceleration for "
+        "serverless computing (ASPLOS 2024) — full-system reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

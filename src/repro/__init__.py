@@ -1,0 +1,78 @@
+"""DSCS-Serverless: in-storage domain-specific acceleration for serverless
+computing — a full-system reproduction of the ASPLOS 2024 paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        DSAConfig, ServerlessExecutionModel, StorageFabric,
+        benchmark_suite, compile_graph, dscs_dsa, baseline_cpu,
+    )
+
+    app = benchmark_suite()["Remote Sensing"]
+    dscs = ServerlessExecutionModel(platform=dscs_dsa())
+    cpu = ServerlessExecutionModel(platform=baseline_cpu())
+    rng = np.random.default_rng(0)
+    print(cpu.invoke(app, rng).latency_seconds /
+          dscs.invoke(app, rng).latency_seconds)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+per-figure reproduction results.
+"""
+
+from repro.accelerator import CycleSimulator, DSAConfig
+from repro.accelerator.config import DDR4, DDR5, HBM2, paper_design_point
+from repro.compiler import compile_graph
+from repro.core import (
+    Component,
+    InvocationResult,
+    LatencyBreakdown,
+    ServerlessExecutionModel,
+    StorageFabric,
+)
+from repro.experiments.benchmarks import BENCHMARKS, benchmark_suite
+from repro.models import Graph, GraphBuilder, TensorSpec
+from repro.platforms import (
+    baseline_cpu,
+    dscs_dsa,
+    fpga_u280,
+    gpu_2080ti,
+    ns_arm,
+    ns_fpga_smartssd,
+    ns_mobile_gpu,
+    table2_platforms,
+)
+from repro.serverless import Application, ServerlessFunction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "BENCHMARKS",
+    "Component",
+    "CycleSimulator",
+    "DDR4",
+    "DDR5",
+    "DSAConfig",
+    "Graph",
+    "GraphBuilder",
+    "HBM2",
+    "InvocationResult",
+    "LatencyBreakdown",
+    "ServerlessExecutionModel",
+    "ServerlessFunction",
+    "StorageFabric",
+    "TensorSpec",
+    "__version__",
+    "baseline_cpu",
+    "benchmark_suite",
+    "compile_graph",
+    "dscs_dsa",
+    "fpga_u280",
+    "gpu_2080ti",
+    "ns_arm",
+    "ns_fpga_smartssd",
+    "ns_mobile_gpu",
+    "paper_design_point",
+    "table2_platforms",
+]

@@ -1,0 +1,70 @@
+"""The in-storage Domain-Specific Accelerator (DSA) — paper §4.
+
+The DSA couples a systolic Matrix Processing Unit (MPU) with a SIMD Vector
+Processing Unit (VPU) behind shared multi-bank buffers and a DMA engine.
+This package provides:
+
+- :class:`~repro.accelerator.config.DSAConfig` / memory specs — the design
+  point (PE grid, buffer capacity, memory technology, clock, tech node).
+- :mod:`~repro.accelerator.isa` — the instruction set the compiler targets.
+- :mod:`~repro.accelerator.mpu` / :mod:`~repro.accelerator.vpu` — per-tile
+  timing models for the two engines.
+- :class:`~repro.accelerator.simulator.CycleSimulator` — executes compiled
+  programs, reporting cycles, latency, and energy with double-buffered
+  DMA/compute overlap.
+- :mod:`~repro.accelerator.power` / :mod:`~repro.accelerator.area` —
+  synthesis-style analytical models at 45 nm.
+- :mod:`~repro.accelerator.scaling` — DeepScaleTool-style projection to
+  newer technology nodes (the paper scales 45 nm -> 14 nm).
+"""
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.disassembler import disassemble, hottest_ops, per_op_stats
+from repro.accelerator.config import (
+    DDR4,
+    DDR5,
+    HBM2,
+    DSAConfig,
+    MemorySpec,
+    SMARTSSD_POWER_BUDGET_WATTS,
+)
+from repro.accelerator.isa import (
+    GemmTile,
+    Halt,
+    Instruction,
+    LoadTile,
+    Program,
+    StoreTile,
+    Sync,
+    VectorOp,
+)
+from repro.accelerator.power import PowerModel
+from repro.accelerator.scaling import TechNode, scale_area, scale_power
+from repro.accelerator.simulator import CycleSimulator, ExecutionReport
+
+__all__ = [
+    "AreaModel",
+    "CycleSimulator",
+    "DDR4",
+    "DDR5",
+    "DSAConfig",
+    "ExecutionReport",
+    "GemmTile",
+    "HBM2",
+    "Halt",
+    "Instruction",
+    "LoadTile",
+    "MemorySpec",
+    "PowerModel",
+    "Program",
+    "SMARTSSD_POWER_BUDGET_WATTS",
+    "StoreTile",
+    "Sync",
+    "TechNode",
+    "VectorOp",
+    "disassemble",
+    "hottest_ops",
+    "per_op_stats",
+    "scale_area",
+    "scale_power",
+]

@@ -1,0 +1,65 @@
+"""Analytical area model for a DSA design point (45 nm baseline).
+
+Constants are calibrated to place the paper's named design points on the
+area–performance frontier of Fig. 8: the chosen Dim128-4MB point lands in
+the low-hundreds of mm^2 while Dim1024-32MB reaches several thousand mm^2
+at 45 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.scaling import scale_area
+from repro.units import MB
+
+# Per-PE area (int8 MAC + pipeline registers + control) at 45 nm.
+_PE_AREA_MM2 = 0.006
+# SRAM macro density at 45 nm.
+_SRAM_MM2_PER_MB = 2.8
+# Vector engine area per lane (ALU + MAC + special-function unit).
+_LANE_AREA_MM2 = 0.012
+# NoC, DMA engine, sequencer, PHY — fractional overhead on core area.
+_OVERHEAD_FACTOR = 1.25
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component-level area in mm^2 at the configured node."""
+
+    mpu_mm2: float
+    vpu_mm2: float
+    sram_mm2: float
+    overhead_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.mpu_mm2 + self.vpu_mm2 + self.sram_mm2 + self.overhead_mm2
+
+
+class AreaModel:
+    """Area estimator for :class:`DSAConfig` design points."""
+
+    def __init__(self, config: DSAConfig) -> None:
+        self._config = config
+
+    def breakdown(self) -> AreaBreakdown:
+        """Per-component area at the config's technology node."""
+        cfg = self._config
+        mpu = cfg.num_pes * _PE_AREA_MM2
+        vpu = cfg.lanes * _LANE_AREA_MM2
+        sram = (cfg.buffer_bytes / MB) * _SRAM_MM2_PER_MB
+        core = mpu + vpu + sram
+        overhead = core * (_OVERHEAD_FACTOR - 1.0)
+        node = cfg.tech_node_nm
+        return AreaBreakdown(
+            mpu_mm2=scale_area(mpu, node),
+            vpu_mm2=scale_area(vpu, node),
+            sram_mm2=scale_area(sram, node),
+            overhead_mm2=scale_area(overhead, node),
+        )
+
+    def total_mm2(self) -> float:
+        """Total die area at the config's technology node."""
+        return self.breakdown().total_mm2

@@ -1,0 +1,150 @@
+"""DSA design-point configuration.
+
+A design point fixes the systolic-array geometry, on-chip buffer capacity,
+external memory technology, clock, and technology node.  The paper's search
+space (§4.2) sweeps PE dims 4–1024 (powers of two), buffers up to 32 MB, and
+three memory technologies; its chosen point is a 128x128 array with a 4 MB
+scratchpad on DDR5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import GB_DEC, GHZ, MB
+
+# PCIe add-in cards (and therefore computational storage drives) are capped
+# at a 25 W power budget (paper §4.2, [68]); the Samsung SmartSSD's TDP.
+SMARTSSD_POWER_BUDGET_WATTS = 25.0
+
+# Share of the drive budget available to the accelerator once the flash
+# array, controller, and DRAM take their cut (paper: budget "is apportioned
+# between the flash and the accelerator").
+ACCELERATOR_POWER_SHARE = 0.5
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """External memory technology attached to the DSA."""
+
+    name: str
+    bandwidth_bytes_per_s: float
+    energy_pj_per_byte: float
+    interface_power_watts: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(f"{self.name}: non-positive bandwidth")
+        if self.energy_pj_per_byte < 0 or self.interface_power_watts < 0:
+            raise ConfigurationError(f"{self.name}: negative energy/power")
+
+    def bytes_per_cycle(self, frequency_hz: float) -> float:
+        """Sustained DMA bytes per accelerator clock cycle."""
+        return self.bandwidth_bytes_per_s / frequency_hz
+
+
+# The paper's three candidate memory technologies (§4.2).  Interface power
+# is the always-on PHY/controller cost — decisive inside a 25 W drive:
+# HBM2's multi-watt PHY (plus stacked-die cost) is why the paper's optimum
+# lands on DDR5 despite HBM2's bandwidth.
+DDR4 = MemorySpec("DDR4", 19.2 * GB_DEC, 22.0, 0.9)
+DDR5 = MemorySpec("DDR5", 38.0 * GB_DEC, 18.0, 1.1)
+HBM2 = MemorySpec("HBM2", 460.0 * GB_DEC, 7.0, 12.0)
+
+MEMORY_TECHNOLOGIES = {"DDR4": DDR4, "DDR5": DDR5, "HBM2": HBM2}
+
+
+@dataclass(frozen=True)
+class DSAConfig:
+    """One point in the accelerator design space."""
+
+    pe_rows: int = 128
+    pe_cols: int = 128
+    buffer_bytes: int = 4 * MB
+    memory: MemorySpec = field(default=DDR5)
+    frequency_hz: float = 1.0 * GHZ
+    vector_lanes: int = 0  # 0 -> defaults to pe_cols
+    tech_node_nm: int = 45
+
+    def __post_init__(self) -> None:
+        if self.pe_rows <= 0 or self.pe_cols <= 0:
+            raise ConfigurationError(
+                f"PE grid must be positive, got {self.pe_rows}x{self.pe_cols}"
+            )
+        if self.buffer_bytes <= 0:
+            raise ConfigurationError(f"non-positive buffer: {self.buffer_bytes}")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(f"non-positive frequency: {self.frequency_hz}")
+        if self.vector_lanes < 0:
+            raise ConfigurationError(f"negative vector lanes: {self.vector_lanes}")
+        if self.tech_node_nm not in (45, 32, 22, 14, 7):
+            raise ConfigurationError(
+                f"unsupported tech node {self.tech_node_nm} nm"
+            )
+
+    @property
+    def num_pes(self) -> int:
+        """Total processing elements in the MPU."""
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def lanes(self) -> int:
+        """SIMD width of the VPU."""
+        return self.vector_lanes or self.pe_cols
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.num_pes
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak int8 throughput in tera-ops (2 ops per MAC)."""
+        return 2 * self.num_pes * self.frequency_hz / 1e12
+
+    # The scratchpad is split across input/weight/output banks.  The ratios
+    # follow the TPU-style apportioning the paper's architecture implies:
+    # weights dominate (double-buffered weight tiles), outputs hold 32-bit
+    # partial sums.
+    @property
+    def input_buffer_bytes(self) -> int:
+        return int(self.buffer_bytes * 0.25)
+
+    @property
+    def weight_buffer_bytes(self) -> int:
+        return int(self.buffer_bytes * 0.50)
+
+    @property
+    def output_buffer_bytes(self) -> int:
+        return int(self.buffer_bytes * 0.25)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at this clock."""
+        if cycles < 0:
+            raise ConfigurationError(f"negative cycle count: {cycles}")
+        return cycles / self.frequency_hz
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier, e.g. ``Dim128-4MB-DDR5``."""
+        if self.buffer_bytes >= MB:
+            buffer_label = f"{self.buffer_bytes / MB:g}MB"
+        else:
+            buffer_label = f"{self.buffer_bytes / 1024:g}KB"
+        return (
+            f"Dim{self.pe_rows}"
+            + ("" if self.pe_rows == self.pe_cols else f"x{self.pe_cols}")
+            + f"-{buffer_label}-{self.memory.name}"
+        )
+
+
+def paper_design_point() -> DSAConfig:
+    """The Pareto-optimal configuration the paper selects (§4.2)."""
+    return DSAConfig(
+        pe_rows=128,
+        pe_cols=128,
+        buffer_bytes=4 * MB,
+        memory=DDR5,
+        frequency_hz=1.0 * GHZ,
+        tech_node_nm=45,
+    )

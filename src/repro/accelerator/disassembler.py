@@ -1,0 +1,136 @@
+"""Program disassembler and per-op statistics.
+
+Developer tooling for the compiler: dump an instruction stream as text and
+summarise work per model operator — the DSA equivalent of an object-file
+inspector, used when diagnosing why a layer under-utilises the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.accelerator.isa import (
+    GemmTile,
+    Halt,
+    Instruction,
+    LoadTile,
+    Program,
+    StoreTile,
+    Sync,
+    VectorOp,
+)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """One-line textual form of an instruction."""
+    if isinstance(instruction, LoadTile):
+        return (
+            f"LOAD   {instruction.destination.value:14s} "
+            f"{instruction.num_bytes:>10,d} B   ; {instruction.op_name}"
+        )
+    if isinstance(instruction, StoreTile):
+        return f"STORE  dram           {instruction.num_bytes:>10,d} B   ; {instruction.op_name}"
+    if isinstance(instruction, GemmTile):
+        return (
+            f"GEMM   m={instruction.m:<6d} n={instruction.n:<5d} "
+            f"k={instruction.k:<5d}        ; {instruction.op_name}"
+        )
+    if isinstance(instruction, VectorOp):
+        fused = "fused" if instruction.fused else "dram "
+        return (
+            f"VOP    {fused} x{instruction.cost_per_element} "
+            f"{instruction.elements:>12,d} el  ; {instruction.op_name}"
+        )
+    if isinstance(instruction, Sync):
+        return "SYNC"
+    if isinstance(instruction, Halt):
+        return "HALT"
+    return repr(instruction)  # pragma: no cover - defensive
+
+
+def disassemble(program: Program, limit: int = 0) -> str:
+    """Full textual dump of ``program`` (``limit`` > 0 truncates)."""
+    lines = [f"; program {program.model_name} — {len(program)} instructions"]
+    for index, instruction in enumerate(program):
+        if limit and index >= limit:
+            lines.append(f"; ... {len(program) - limit} more instructions")
+            break
+        lines.append(f"{index:6d}: {format_instruction(instruction)}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OpStats:
+    """Aggregate instruction statistics for one model operator."""
+
+    op_name: str
+    gemm_tiles: int
+    macs: int
+    vector_element_ops: int
+    load_bytes: int
+    store_bytes: int
+    syncs: int
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.load_bytes + self.store_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per DRAM byte for this op (0 when no traffic)."""
+        if self.dram_bytes == 0:
+            return 0.0
+        return self.macs / self.dram_bytes
+
+
+def per_op_stats(program: Program) -> Dict[str, OpStats]:
+    """Summarise the instruction stream per model operator."""
+    tallies: Dict[str, Dict[str, int]] = {}
+
+    def tally(name: str) -> Dict[str, int]:
+        return tallies.setdefault(
+            name,
+            {
+                "gemm_tiles": 0,
+                "macs": 0,
+                "vector": 0,
+                "load": 0,
+                "store": 0,
+                "syncs": 0,
+            },
+        )
+
+    for instruction in program:
+        if isinstance(instruction, GemmTile):
+            t = tally(instruction.op_name)
+            t["gemm_tiles"] += 1
+            t["macs"] += instruction.macs
+        elif isinstance(instruction, VectorOp):
+            t = tally(instruction.op_name)
+            t["vector"] += instruction.elements * instruction.cost_per_element
+        elif isinstance(instruction, LoadTile):
+            tally(instruction.op_name)["load"] += instruction.num_bytes
+        elif isinstance(instruction, StoreTile):
+            tally(instruction.op_name)["store"] += instruction.num_bytes
+        elif isinstance(instruction, Sync):
+            tally(instruction.op_name)["syncs"] += 1
+
+    return {
+        name: OpStats(
+            op_name=name,
+            gemm_tiles=t["gemm_tiles"],
+            macs=t["macs"],
+            vector_element_ops=t["vector"],
+            load_bytes=t["load"],
+            store_bytes=t["store"],
+            syncs=t["syncs"],
+        )
+        for name, t in tallies.items()
+    }
+
+
+def hottest_ops(program: Program, top: int = 10) -> List[OpStats]:
+    """The ``top`` operators by MAC count."""
+    stats = sorted(per_op_stats(program).values(), key=lambda s: -s.macs)
+    return stats[:top]

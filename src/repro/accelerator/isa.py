@@ -1,0 +1,153 @@
+"""The DSA instruction set the compiler targets.
+
+The ISA is deliberately coarse-grained (tile granularity), matching the
+paper's description of compiler-generated, configuration-specific executable
+code: the compiler emits LOAD/GEMM/VOP/STORE tile instructions and the
+hardware's DMA engine and sequencer overlap them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import CompilationError
+
+
+class MemorySpace(enum.Enum):
+    """Where a tile transfer sources/sinks."""
+
+    DRAM = "dram"
+    INPUT_BUFFER = "input_buffer"
+    WEIGHT_BUFFER = "weight_buffer"
+    OUTPUT_BUFFER = "output_buffer"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for DSA instructions."""
+
+    op_name: str  # which model op this instruction belongs to (for reports)
+
+
+@dataclass(frozen=True)
+class LoadTile(Instruction):
+    """DMA a tile from DRAM into an on-chip buffer."""
+
+    num_bytes: int = 0
+    destination: MemorySpace = MemorySpace.INPUT_BUFFER
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise CompilationError(f"LoadTile with negative bytes: {self.num_bytes}")
+        if self.destination is MemorySpace.DRAM:
+            raise CompilationError("LoadTile destination cannot be DRAM")
+
+
+@dataclass(frozen=True)
+class StoreTile(Instruction):
+    """DMA a tile from the output buffer back to DRAM."""
+
+    num_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise CompilationError(f"StoreTile with negative bytes: {self.num_bytes}")
+
+
+@dataclass(frozen=True)
+class GemmTile(Instruction):
+    """Execute one weight-stationary systolic pass.
+
+    ``m/n/k`` are the tile's logical dims (already clipped to the layer);
+    the array is physically ``pe_rows x pe_cols`` so fill/drain cost is paid
+    on the physical geometry.
+    """
+
+    m: int = 1
+    n: int = 1
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise CompilationError(
+                f"GemmTile with non-positive dims m={self.m} n={self.n} k={self.k}"
+            )
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+
+@dataclass(frozen=True)
+class VectorOp(Instruction):
+    """Execute a SIMD pass over ``elements`` with per-element ``cost``."""
+
+    elements: int = 0
+    cost_per_element: int = 1
+    fused: bool = False  # True when input comes from the shared output buffer
+
+    def __post_init__(self) -> None:
+        if self.elements < 0:
+            raise CompilationError(f"VectorOp with negative elements: {self.elements}")
+        if self.cost_per_element <= 0:
+            raise CompilationError(
+                f"VectorOp with non-positive cost: {self.cost_per_element}"
+            )
+
+
+@dataclass(frozen=True)
+class Sync(Instruction):
+    """Barrier: all outstanding DMA and compute must retire."""
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """End of program."""
+
+
+@dataclass
+class Program:
+    """An ordered DSA instruction stream with provenance metadata."""
+
+    model_name: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: List[Instruction]) -> None:
+        self.instructions.extend(instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def validate(self) -> None:
+        """Check structural invariants: non-empty, single trailing Halt."""
+        if not self.instructions:
+            raise CompilationError(f"program {self.model_name!r} is empty")
+        halts = [i for i, ins in enumerate(self.instructions) if isinstance(ins, Halt)]
+        if len(halts) != 1 or halts[0] != len(self.instructions) - 1:
+            raise CompilationError(
+                f"program {self.model_name!r} must end with exactly one Halt"
+            )
+
+    def totals(self) -> Tuple[int, int, int]:
+        """Return ``(total MACs, total vector element-ops, total DMA bytes)``."""
+        macs = 0
+        vec = 0
+        dma = 0
+        for instruction in self.instructions:
+            if isinstance(instruction, GemmTile):
+                macs += instruction.macs
+            elif isinstance(instruction, VectorOp):
+                vec += instruction.elements * instruction.cost_per_element
+            elif isinstance(instruction, LoadTile):
+                dma += instruction.num_bytes
+            elif isinstance(instruction, StoreTile):
+                dma += instruction.num_bytes
+        return macs, vec, dma

@@ -1,0 +1,78 @@
+"""Matrix Processing Unit timing model.
+
+Weight-stationary systolic array (paper §4.1, TPU-style): a weight tile is
+loaded row-by-row into the PE grid, activations stream through rows, and
+partial sums cascade down columns in a waterfall.  Per-tile cycle cost:
+
+    load (pe_rows) + stream (m) + drain (pe_cols)
+
+The fill/drain terms are paid on the *physical* geometry — a large array
+pays its pipeline depth even when the logical tile is small, which is the
+microarchitectural reason batch-1 serverless inference favours the 128x128
+point over 1024x1024 in the paper's design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.isa import GemmTile
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MPUTiming:
+    """Cycle accounting for one systolic pass."""
+
+    load_cycles: int
+    stream_cycles: int
+    drain_cycles: int
+
+    @property
+    def total(self) -> int:
+        return self.load_cycles + self.stream_cycles + self.drain_cycles
+
+
+class MatrixProcessingUnit:
+    """Timing model of the systolic MPU for a given design point."""
+
+    def __init__(self, config: DSAConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> DSAConfig:
+        return self._config
+
+    def tile_timing(self, tile: GemmTile) -> MPUTiming:
+        """Cycle cost of one weight-stationary pass over ``tile``.
+
+        The logical tile must fit the physical array (the compiler clips
+        tiles before emitting them).
+        """
+        cfg = self._config
+        if tile.k > cfg.pe_rows or tile.n > cfg.pe_cols:
+            raise SimulationError(
+                f"tile k={tile.k} n={tile.n} exceeds array "
+                f"{cfg.pe_rows}x{cfg.pe_cols}"
+            )
+        # Weight rows shift in one per cycle; a partial tile still occupies
+        # its rows only.
+        load = tile.k
+        # One activation row enters per cycle.
+        stream = tile.m
+        # Partial sums ripple through every physical column stage.
+        drain = cfg.pe_rows + cfg.pe_cols
+        return MPUTiming(load_cycles=load, stream_cycles=stream, drain_cycles=drain)
+
+    def tile_cycles(self, tile: GemmTile) -> int:
+        """Total cycles for one tile."""
+        return self.tile_timing(tile).total
+
+    def utilization(self, tile: GemmTile) -> float:
+        """Fraction of peak MACs achieved during this tile's execution."""
+        cycles = self.tile_cycles(tile)
+        peak = cycles * self._config.num_pes
+        if peak == 0:
+            return 0.0
+        return tile.macs / peak

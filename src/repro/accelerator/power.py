@@ -1,0 +1,103 @@
+"""Analytical power/energy model for the DSA (45 nm baseline).
+
+Follows the paper's methodology split: logic-cell energy from synthesis-
+style per-op constants, on-chip memory via a CACTI-like capacity-dependent
+per-access energy, DRAM interface energy per byte from the memory spec, and
+leakage proportional to die area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.scaling import scale_power
+from repro.units import MB
+
+# Energy constants at 45 nm.
+_MAC_ENERGY_PJ = 3.0  # one int8 MAC including operand forwarding
+_VECTOR_ENERGY_PJ = 1.2  # one SIMD element-op (ALU/SFU average)
+_SRAM_BASE_PJ_PER_BYTE = 0.6  # per-byte access for a small (<=1 MB) macro
+_SRAM_SIZE_EXPONENT = 0.25  # access energy grows ~capacity^0.25 (CACTI-P)
+_LEAKAGE_W_PER_MM2 = 0.012  # 45 nm high-performance cell leakage
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent per component over one execution."""
+
+    mac_j: float
+    vector_j: float
+    sram_j: float
+    dram_j: float
+    leakage_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.mac_j + self.vector_j + self.sram_j + self.dram_j + self.leakage_j
+
+
+class PowerModel:
+    """Energy/power estimator for :class:`DSAConfig` design points."""
+
+    def __init__(self, config: DSAConfig) -> None:
+        self._config = config
+        self._area = AreaModel(config)
+
+    def sram_pj_per_byte(self) -> float:
+        """Capacity-dependent scratchpad access energy (45 nm)."""
+        size_mb = max(self._config.buffer_bytes / MB, 0.125)
+        return _SRAM_BASE_PJ_PER_BYTE * size_mb**_SRAM_SIZE_EXPONENT
+
+    def leakage_watts(self) -> float:
+        """Static power at the configured node."""
+        # Area model already scales to the node; leakage density scales with
+        # the power factor relative to the 45 nm area.
+        cfg = self._config
+        area_45 = AreaModel(
+            DSAConfig(
+                pe_rows=cfg.pe_rows,
+                pe_cols=cfg.pe_cols,
+                buffer_bytes=cfg.buffer_bytes,
+                memory=cfg.memory,
+                frequency_hz=cfg.frequency_hz,
+                vector_lanes=cfg.vector_lanes,
+                tech_node_nm=45,
+            )
+        ).total_mm2()
+        return scale_power(area_45 * _LEAKAGE_W_PER_MM2, cfg.tech_node_nm)
+
+    def execution_energy(
+        self,
+        macs: int,
+        vector_element_ops: int,
+        dram_bytes: int,
+        sram_bytes: int,
+        latency_s: float,
+    ) -> EnergyBreakdown:
+        """Energy for one program execution at the configured node."""
+        cfg = self._config
+        node = cfg.tech_node_nm
+        mac_j = scale_power(macs * _MAC_ENERGY_PJ * 1e-12, node)
+        vec_j = scale_power(vector_element_ops * _VECTOR_ENERGY_PJ * 1e-12, node)
+        sram_j = scale_power(sram_bytes * self.sram_pj_per_byte() * 1e-12, node)
+        # DRAM device+interface energy does not scale with the logic node.
+        dram_j = dram_bytes * cfg.memory.energy_pj_per_byte * 1e-12
+        leak_j = self.leakage_watts() * latency_s
+        return EnergyBreakdown(
+            mac_j=mac_j, vector_j=vec_j, sram_j=sram_j, dram_j=dram_j, leakage_j=leak_j
+        )
+
+    def dynamic_power_watts(self, breakdown: EnergyBreakdown, latency_s: float) -> float:
+        """Average dynamic power (total minus leakage) over an execution."""
+        if latency_s <= 0:
+            return 0.0
+        dynamic_j = breakdown.total_j - breakdown.leakage_j
+        return dynamic_j / latency_s
+
+    def average_power_watts(self, breakdown: EnergyBreakdown, latency_s: float) -> float:
+        """Average total power over an execution."""
+        if latency_s <= 0:
+            return 0.0
+        return breakdown.total_j / latency_s

@@ -1,0 +1,59 @@
+"""Technology-node scaling (paper §4.2).
+
+The paper synthesises at 45 nm (FreePDK) and follows the DeepScaleTool
+methodology [103] to project power and area to 14 nm — "relatively similar
+to the technology node of Samsung SmartSSD".  The factors below follow the
+published dense-logic scaling trajectory: area shrinks roughly with the
+square of feature size (with layout overheads), and power shrinks more
+slowly because supply-voltage scaling stalled after Dennard scaling ended.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+
+class TechNode(enum.Enum):
+    """Supported technology nodes with (area, power) factors vs 45 nm."""
+
+    NM45 = (45, 1.0, 1.0)
+    NM32 = (32, 0.55, 0.65)
+    NM22 = (22, 0.28, 0.45)
+    NM14 = (14, 0.105, 0.30)
+    NM7 = (7, 0.036, 0.16)
+
+    def __init__(self, nm: int, area_factor: float, power_factor: float) -> None:
+        self.nm = nm
+        self.area_factor = area_factor
+        self.power_factor = power_factor
+
+    @classmethod
+    def from_nm(cls, nm: int) -> "TechNode":
+        for node in cls:
+            if node.nm == nm:
+                return node
+        raise ConfigurationError(f"unsupported tech node: {nm} nm")
+
+
+def scale_area(area_mm2_at_45nm: float, target_nm: int) -> float:
+    """Project a 45 nm area to ``target_nm``."""
+    if area_mm2_at_45nm < 0:
+        raise ConfigurationError(f"negative area: {area_mm2_at_45nm}")
+    return area_mm2_at_45nm * TechNode.from_nm(target_nm).area_factor
+
+
+def scale_power(power_watts_at_45nm: float, target_nm: int) -> float:
+    """Project a 45 nm power figure to ``target_nm`` at iso-frequency."""
+    if power_watts_at_45nm < 0:
+        raise ConfigurationError(f"negative power: {power_watts_at_45nm}")
+    return power_watts_at_45nm * TechNode.from_nm(target_nm).power_factor
+
+
+def scale_energy(energy_joules_at_45nm: float, target_nm: int) -> float:
+    """Project a 45 nm energy figure to ``target_nm`` (same factor as power
+    at iso-frequency, since runtime is unchanged)."""
+    if energy_joules_at_45nm < 0:
+        raise ConfigurationError(f"negative energy: {energy_joules_at_45nm}")
+    return energy_joules_at_45nm * TechNode.from_nm(target_nm).power_factor

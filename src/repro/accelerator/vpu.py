@@ -1,0 +1,43 @@
+"""Vector Processing Unit timing model.
+
+SIMD engine (paper §4.1): ``lanes`` vector engines execute one element-op
+per lane per cycle.  Activation functions and normalisations cost several
+element-ops per element (transcendental approximation steps); the op layer
+already folds that into ``cost_per_element``.
+
+The VPU shares the multi-bank output buffer with the MPU, so fused vector
+ops read MPU results without a DRAM round trip — modeled as zero DMA for
+fused :class:`~repro.accelerator.isa.VectorOp` instructions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.isa import VectorOp
+
+# Per-pass pipeline setup (instruction decode, address generation).
+_PASS_OVERHEAD_CYCLES = 8
+
+
+class VectorProcessingUnit:
+    """Timing model of the SIMD VPU for a given design point."""
+
+    def __init__(self, config: DSAConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> DSAConfig:
+        return self._config
+
+    def op_cycles(self, op: VectorOp) -> int:
+        """Total cycles to execute a vector instruction."""
+        if op.elements == 0:
+            return _PASS_OVERHEAD_CYCLES
+        element_ops = op.elements * op.cost_per_element
+        return _PASS_OVERHEAD_CYCLES + math.ceil(element_ops / self._config.lanes)
+
+    def throughput_elements_per_cycle(self) -> int:
+        """Peak single-cost element throughput."""
+        return self._config.lanes

@@ -1,0 +1,24 @@
+"""Cross-cutting analysis utilities: Pareto frontiers, energy, cost.
+
+Used by the design-space exploration (Figs. 7/8), the energy-reduction
+figure (Fig. 11), and the cost-efficiency figure (Fig. 12).
+"""
+
+from repro.analysis.cost import (
+    CostModel,
+    SystemCost,
+    system_cost_for,
+)
+from repro.analysis.pareto import DesignPoint2D, pareto_front, pareto_front_points
+from repro.analysis.roofline import RooflinePoint, analyze as roofline_analyze
+
+__all__ = [
+    "CostModel",
+    "DesignPoint2D",
+    "RooflinePoint",
+    "SystemCost",
+    "pareto_front",
+    "pareto_front_points",
+    "roofline_analyze",
+    "system_cost_for",
+]

@@ -1,0 +1,115 @@
+"""Cost-efficiency model (paper §6.1, Fig. 12).
+
+Follows E3 [101]:
+
+    cost efficiency = throughput x T / (CAPEX + OPEX)
+
+CAPEX covers the entire serving system — compute server, storage server,
+and the evaluated device.  Crucially, DSCS-Serverless does not remove the
+compute tier (the notification function still runs there); it adds a
+DSCS-Drive premium to the storage tier.  OPEX is electricity over a
+three-year period at 30% utilisation, the 2023 US industrial rate, with a
+datacenter PUE factor for cooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.platforms.base import ComputePlatform, PlatformKind
+from repro.units import HOUR
+
+# Component prices (US$, off-the-shelf market figures the paper cites).
+COMPUTE_SERVER_USD = 6500.0
+STORAGE_SERVER_USD = 4000.0
+PLAIN_SSD_USD = 500.0
+
+# Steady-state power of the supporting tiers (watts).
+STORAGE_NODE_POWER_W = 120.0
+COMPUTE_NODE_IDLE_POWER_W = 65.0
+
+US_INDUSTRIAL_RATE_PER_KWH = 0.0975  # 2023 average [128]
+DATACENTER_PUE = 1.5  # cooling overhead
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """Full-system cost inputs for one platform."""
+
+    platform_name: str
+    capex_usd: float
+    average_power_watts: float
+
+    def __post_init__(self) -> None:
+        if self.capex_usd <= 0:
+            raise ConfigurationError(f"{self.platform_name}: non-positive CAPEX")
+        if self.average_power_watts < 0:
+            raise ConfigurationError(f"{self.platform_name}: negative power")
+
+
+def system_cost_for(platform: ComputePlatform) -> SystemCost:
+    """Build the full serving-system cost for a Table 2 platform.
+
+    Traditional platforms' ``capex_usd`` already includes their compute
+    server; they additionally need the storage tier.  Near-storage and
+    DSCS platforms attach their device to the storage tier but keep a
+    compute server for the non-accelerated functions.
+    """
+    if platform.kind is PlatformKind.TRADITIONAL:
+        capex = platform.capex_usd + STORAGE_SERVER_USD + PLAIN_SSD_USD
+        power = platform.active_power_watts + STORAGE_NODE_POWER_W
+    else:
+        capex = platform.capex_usd + COMPUTE_SERVER_USD + STORAGE_SERVER_USD
+        power = (
+            platform.active_power_watts
+            + STORAGE_NODE_POWER_W
+            + COMPUTE_NODE_IDLE_POWER_W
+        )
+    return SystemCost(
+        platform_name=platform.name,
+        capex_usd=capex,
+        average_power_watts=power,
+    )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Three-year total-cost-of-ownership model."""
+
+    years: float = 3.0
+    utilization: float = 0.30
+    electricity_rate_per_kwh: float = US_INDUSTRIAL_RATE_PER_KWH
+    pue: float = DATACENTER_PUE
+
+    def __post_init__(self) -> None:
+        if self.years <= 0 or not 0 < self.utilization <= 1:
+            raise ConfigurationError("invalid ownership period/utilisation")
+        if self.electricity_rate_per_kwh < 0 or self.pue < 1:
+            raise ConfigurationError("invalid electricity rate or PUE")
+
+    @property
+    def ownership_seconds(self) -> float:
+        return self.years * 365.0 * 24.0 * HOUR
+
+    def opex_usd(self, average_power_watts: float) -> float:
+        """Electricity (incl. cooling) over the ownership period."""
+        if average_power_watts < 0:
+            raise ConfigurationError(f"negative power: {average_power_watts}")
+        active_hours = self.years * 365.0 * 24.0 * self.utilization
+        kwh = average_power_watts / 1000.0 * active_hours * self.pue
+        return kwh * self.electricity_rate_per_kwh
+
+    def total_cost_usd(self, system: SystemCost) -> float:
+        return system.capex_usd + self.opex_usd(system.average_power_watts)
+
+    def cost_efficiency(
+        self, throughput_requests_per_s: float, system: SystemCost
+    ) -> float:
+        """Requests served per dollar over the ownership period."""
+        if throughput_requests_per_s <= 0:
+            raise ConfigurationError(
+                f"non-positive throughput: {throughput_requests_per_s}"
+            )
+        work = throughput_requests_per_s * self.ownership_seconds * self.utilization
+        return work / self.total_cost_usd(system)

@@ -1,0 +1,48 @@
+"""Pareto-frontier extraction for the design-space exploration (§4.2).
+
+Fig. 7/8 plot throughput (maximise) against power/area (minimise); the
+frontier is the set of points no other point dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DesignPoint2D:
+    """A candidate with one benefit axis and one cost axis."""
+
+    label: str
+    benefit: float  # e.g. throughput (higher is better)
+    cost: float  # e.g. power or area (lower is better)
+
+
+def pareto_front(points: Sequence[Tuple[float, float]]) -> List[int]:
+    """Indices of the Pareto-optimal ``(benefit, cost)`` pairs.
+
+    A point dominates another when it has >= benefit and <= cost with at
+    least one strict inequality.
+    """
+    if not points:
+        raise ConfigurationError("empty design space")
+    order = sorted(range(len(points)), key=lambda i: (-points[i][0], points[i][1]))
+    front: List[int] = []
+    best_cost = float("inf")
+    best_benefit = float("-inf")
+    for index in order:
+        benefit, cost = points[index]
+        if cost < best_cost or (cost == best_cost and benefit > best_benefit):
+            front.append(index)
+            best_cost = min(best_cost, cost)
+            best_benefit = max(best_benefit, benefit)
+    return sorted(front)
+
+
+def pareto_front_points(points: Sequence[DesignPoint2D]) -> List[DesignPoint2D]:
+    """Pareto frontier over :class:`DesignPoint2D` records."""
+    indices = pareto_front([(p.benefit, p.cost) for p in points])
+    return [points[i] for i in indices]

@@ -1,0 +1,77 @@
+"""Roofline analysis of models against DSA design points.
+
+A classic architecture tool layered on the library: for a model graph and
+a :class:`~repro.accelerator.config.DSAConfig`, report the operational
+intensity (MACs per DRAM byte), the design's ridge point, and whether the
+model is compute- or bandwidth-bound — the analytical view behind the
+paper's DSE results (memory-bound LLMs want bandwidth, CNNs want MACs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import DSAConfig
+from repro.compiler.executable import compile_graph
+from repro.errors import ConfigurationError
+from repro.models.graph import Graph
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Where one model lands on one design point's roofline."""
+
+    model_name: str
+    config_label: str
+    operational_intensity: float  # MACs per DRAM byte (compiled traffic)
+    ridge_intensity: float  # MACs/byte where compute == bandwidth
+    peak_macs_per_s: float
+    bandwidth_bytes_per_s: float
+    attained_macs_per_s: float  # from the cycle simulation
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when the model's intensity exceeds the ridge point."""
+        return self.operational_intensity >= self.ridge_intensity
+
+    @property
+    def roofline_bound_macs_per_s(self) -> float:
+        """The roofline ceiling at this model's intensity."""
+        bandwidth_limit = self.operational_intensity * self.bandwidth_bytes_per_s
+        return min(self.peak_macs_per_s, bandwidth_limit)
+
+    @property
+    def roofline_efficiency(self) -> float:
+        """Attained throughput as a fraction of the roofline ceiling."""
+        ceiling = self.roofline_bound_macs_per_s
+        if ceiling <= 0:
+            return 0.0
+        return self.attained_macs_per_s / ceiling
+
+
+def analyze(graph: Graph, config: DSAConfig) -> RooflinePoint:
+    """Place ``graph`` on ``config``'s roofline using compiled traffic.
+
+    Operational intensity uses the *compiled* DRAM traffic (after fusion
+    and tiling), not the algorithmic minimum — so buffer-capacity effects
+    show up as intensity loss, exactly what the DSE trades off.
+    """
+    report = compile_graph(graph, config).simulate()
+    if report.dram_bytes <= 0:
+        raise ConfigurationError(
+            f"model {graph.name!r} compiled to zero DRAM traffic"
+        )
+    intensity = report.total_macs / report.dram_bytes
+    peak = config.num_pes * config.frequency_hz
+    bandwidth = config.memory.bandwidth_bytes_per_s
+    ridge = peak / bandwidth
+    attained = report.total_macs / report.latency_s if report.latency_s > 0 else 0.0
+    return RooflinePoint(
+        model_name=graph.name,
+        config_label=config.label,
+        operational_intensity=intensity,
+        ridge_intensity=ridge,
+        peak_macs_per_s=peak,
+        bandwidth_bytes_per_s=bandwidth,
+        attained_macs_per_s=attained,
+    )

@@ -1,0 +1,31 @@
+"""At-scale datacenter simulation (paper §6.1, §6.2.2, Fig. 13).
+
+A rack of up to 200 function instances fed by a bursty Poisson request
+trace for 20 minutes, with an FCFS scheduler holding up to 10,000 queued
+requests.  Produces the arrival/queue-depth/latency time series of
+Fig. 13 and the wall-clock comparison of §6.2.2.
+"""
+
+from repro.cluster.schedulers import (
+    CriticalityPolicy,
+    DAGAwarePolicy,
+    FCFSPolicy,
+    PolicyFactory,
+    QueuedRequest,
+    ShortestJobFirstPolicy,
+)
+from repro.cluster.simulation import RackSimulation, SimulationSeries
+from repro.cluster.trace import RequestTrace, TraceGenerator
+
+__all__ = [
+    "CriticalityPolicy",
+    "DAGAwarePolicy",
+    "FCFSPolicy",
+    "PolicyFactory",
+    "QueuedRequest",
+    "RackSimulation",
+    "RequestTrace",
+    "ShortestJobFirstPolicy",
+    "SimulationSeries",
+    "TraceGenerator",
+]

@@ -1,0 +1,135 @@
+"""Storage-node interference model (paper §3).
+
+A storage node's CPU serves conventional GET/PUT traffic.  Co-locating
+compute with storage contends for that CPU — *unless* the compute runs on
+the in-storage DSA, which "does not consume CPU cycles in the storage
+node, except for initiating the data transfer".  This module quantifies
+that claim: an M/G/1-style processor-sharing model of the node CPU under
+background storage traffic plus a co-located function load, reporting the
+storage traffic's latency inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MS, US
+
+
+@dataclass(frozen=True)
+class StorageTrafficProfile:
+    """Background conventional storage service on the node."""
+
+    requests_per_second: float = 2000.0
+    cpu_seconds_per_request: float = 120 * US  # syscall+FTL+RPC service cost
+
+    def __post_init__(self) -> None:
+        if self.requests_per_second < 0 or self.cpu_seconds_per_request <= 0:
+            raise ConfigurationError("invalid storage traffic profile")
+
+    @property
+    def offered_load(self) -> float:
+        """CPU utilisation offered by storage traffic alone."""
+        return self.requests_per_second * self.cpu_seconds_per_request
+
+
+@dataclass(frozen=True)
+class CoLocatedFunctionLoad:
+    """CPU demand of the co-located serverless function workload."""
+
+    invocations_per_second: float
+    cpu_seconds_per_invocation: float
+
+    def __post_init__(self) -> None:
+        if self.invocations_per_second < 0 or self.cpu_seconds_per_invocation < 0:
+            raise ConfigurationError("invalid co-located load")
+
+    @property
+    def offered_load(self) -> float:
+        return self.invocations_per_second * self.cpu_seconds_per_invocation
+
+
+@dataclass(frozen=True)
+class InterferenceResult:
+    """Storage-service latency with and without the co-located load."""
+
+    baseline_utilization: float
+    combined_utilization: float
+    baseline_latency_seconds: float
+    combined_latency_seconds: float
+    saturated: bool
+
+    @property
+    def latency_inflation(self) -> float:
+        """Storage GET latency multiple caused by the co-located load."""
+        if self.saturated:
+            return float("inf")
+        return self.combined_latency_seconds / self.baseline_latency_seconds
+
+
+class StorageNodeCPU:
+    """M/M/1-PS approximation of the storage node's CPU."""
+
+    def __init__(self, cores: int = 8) -> None:
+        if cores <= 0:
+            raise ConfigurationError(f"non-positive core count: {cores}")
+        self._cores = cores
+
+    def _response_time(
+        self, utilization: float, service_seconds: float
+    ) -> float:
+        # Processor sharing: E[T] = S / (1 - rho) per core-normalised load.
+        if utilization >= 1.0:
+            return float("inf")
+        return service_seconds / (1.0 - utilization)
+
+    def interference(
+        self,
+        traffic: StorageTrafficProfile,
+        co_located: CoLocatedFunctionLoad,
+    ) -> InterferenceResult:
+        """Storage latency before/after adding the co-located CPU load."""
+        base_rho = traffic.offered_load / self._cores
+        combined_rho = (traffic.offered_load + co_located.offered_load) / self._cores
+        if base_rho >= 1.0:
+            raise ConfigurationError(
+                f"storage traffic alone saturates the node (rho={base_rho:.2f})"
+            )
+        saturated = combined_rho >= 1.0
+        base_latency = self._response_time(
+            base_rho, traffic.cpu_seconds_per_request
+        )
+        combined_latency = (
+            float("inf")
+            if saturated
+            else self._response_time(combined_rho, traffic.cpu_seconds_per_request)
+        )
+        return InterferenceResult(
+            baseline_utilization=base_rho,
+            combined_utilization=min(combined_rho, 1.0),
+            baseline_latency_seconds=base_latency,
+            combined_latency_seconds=combined_latency,
+            saturated=saturated,
+        )
+
+
+def dscs_co_located_load(
+    invocations_per_second: float, driver_round_trip_seconds: float = 3 * MS
+) -> CoLocatedFunctionLoad:
+    """DSCS's CPU footprint: only the driver dispatch/interrupt path."""
+    return CoLocatedFunctionLoad(
+        invocations_per_second=invocations_per_second,
+        cpu_seconds_per_invocation=driver_round_trip_seconds,
+    )
+
+
+def ns_cpu_co_located_load(
+    invocations_per_second: float, compute_seconds_per_invocation: float
+) -> CoLocatedFunctionLoad:
+    """A conventional near-storage CPU platform's footprint: the whole
+    function executes on the node's cores."""
+    return CoLocatedFunctionLoad(
+        invocations_per_second=invocations_per_second,
+        cpu_seconds_per_invocation=compute_seconds_per_invocation,
+    )

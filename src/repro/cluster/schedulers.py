@@ -1,0 +1,204 @@
+"""Pluggable request-scheduling policies for the rack simulator.
+
+The paper's deployed system uses FCFS (§5.3) and explicitly calls out
+optimized scheduling as future work: *"scheduling functions based on their
+criticality and importance can enhance the performance ... Likewise,
+scheduling policies that consider the whole serverless application DAG"*.
+This module implements that future work as alternative policies:
+
+- :class:`FCFSPolicy` — the paper's baseline: strict arrival order.
+- :class:`ShortestJobFirstPolicy` — picks the queued request with the
+  smallest expected service time (from per-application latency estimates).
+- :class:`CriticalityPolicy` — priority classes with FCFS inside a class;
+  long-running/critical applications can be boosted.
+- :class:`DAGAwarePolicy` — prefers applications with many acceleratable
+  functions (deep pipelines gain the most from DSCS, Fig. 16), breaking
+  ties by arrival.
+
+Policies only reorder the queue; admission (queue depth) and the
+run-to-completion execution model stay exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Protocol
+
+from repro.errors import SchedulingError
+from repro.serverless.application import Application
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """A request waiting in the scheduler queue."""
+
+    arrival: float
+    app_name: str
+    sequence: int  # admission order, for stable tie-breaking
+
+
+class SchedulingPolicy(Protocol):
+    """Interface: maintain a queue of :class:`QueuedRequest`."""
+
+    def push(self, request: QueuedRequest) -> None:
+        """Admit a request into the queue."""
+
+    def pop(self) -> QueuedRequest:
+        """Remove and return the next request to run."""
+
+    def __len__(self) -> int:
+        """Number of queued requests."""
+
+
+class FCFSPolicy:
+    """First-come-first-serve — the paper's deployed policy (§5.3)."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[QueuedRequest] = deque()
+
+    def push(self, request: QueuedRequest) -> None:
+        self._queue.append(request)
+
+    def pop(self) -> QueuedRequest:
+        if not self._queue:
+            raise SchedulingError("pop from empty FCFS queue")
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class ShortestJobFirstPolicy:
+    """Serve the queued request with the smallest expected service time.
+
+    ``service_estimates`` maps application name to an expected latency
+    (seconds); unknown applications sort last.  Ties break by admission
+    order so the policy is deterministic and starvation-bounded for equal
+    estimates.
+    """
+
+    def __init__(self, service_estimates: Dict[str, float]) -> None:
+        if not service_estimates:
+            raise SchedulingError("SJF needs at least one service estimate")
+        for app, estimate in service_estimates.items():
+            if estimate <= 0:
+                raise SchedulingError(
+                    f"non-positive service estimate for {app!r}: {estimate}"
+                )
+        self._estimates = dict(service_estimates)
+        self._queue: List[QueuedRequest] = []
+
+    def _key(self, request: QueuedRequest):
+        estimate = self._estimates.get(request.app_name, float("inf"))
+        return (estimate, request.sequence)
+
+    def push(self, request: QueuedRequest) -> None:
+        self._queue.append(request)
+
+    def pop(self) -> QueuedRequest:
+        if not self._queue:
+            raise SchedulingError("pop from empty SJF queue")
+        best = min(self._queue, key=self._key)
+        self._queue.remove(best)
+        return best
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class CriticalityPolicy:
+    """Priority classes (lower number = more critical), FCFS within class.
+
+    Implements the paper's "criticality and importance" suggestion: e.g.
+    wildfire Remote Sensing can pre-empt queue position over batch-style
+    Credit Risk scoring (never pre-empting *running* functions — execution
+    stays run-to-completion as in the paper).
+    """
+
+    def __init__(
+        self, priorities: Dict[str, int], default_priority: int = 10
+    ) -> None:
+        self._priorities = dict(priorities)
+        self._default = default_priority
+        self._queue: List[QueuedRequest] = []
+
+    def priority_of(self, app_name: str) -> int:
+        return self._priorities.get(app_name, self._default)
+
+    def push(self, request: QueuedRequest) -> None:
+        self._queue.append(request)
+
+    def pop(self) -> QueuedRequest:
+        if not self._queue:
+            raise SchedulingError("pop from empty criticality queue")
+        best = min(
+            self._queue,
+            key=lambda r: (self.priority_of(r.app_name), r.sequence),
+        )
+        self._queue.remove(best)
+        return best
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class DAGAwarePolicy:
+    """Prefer applications whose DAGs have more acceleratable functions.
+
+    Deep pipelines benefit most from DSCS (paper Fig. 16), so running them
+    on the accelerated fleet first maximises fleet-level gain.
+    """
+
+    def __init__(self, applications: Dict[str, Application]) -> None:
+        if not applications:
+            raise SchedulingError("DAG-aware policy needs the application set")
+        self._accelerated_counts = {
+            name: len(app.accelerated_functions)
+            for name, app in applications.items()
+        }
+        self._queue: List[QueuedRequest] = []
+
+    def accelerated_functions(self, app_name: str) -> int:
+        return self._accelerated_counts.get(app_name, 0)
+
+    def push(self, request: QueuedRequest) -> None:
+        self._queue.append(request)
+
+    def pop(self) -> QueuedRequest:
+        if not self._queue:
+            raise SchedulingError("pop from empty DAG-aware queue")
+        best = min(
+            self._queue,
+            key=lambda r: (-self.accelerated_functions(r.app_name), r.sequence),
+        )
+        self._queue.remove(best)
+        return best
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass
+class PolicyFactory:
+    """Builds a fresh policy instance per simulation run."""
+
+    name: str = "fcfs"
+    service_estimates: Optional[Dict[str, float]] = None
+    priorities: Optional[Dict[str, int]] = None
+    applications: Optional[Dict[str, Application]] = field(default=None)
+
+    def build(self) -> SchedulingPolicy:
+        if self.name == "fcfs":
+            return FCFSPolicy()
+        if self.name == "sjf":
+            if self.service_estimates is None:
+                raise SchedulingError("sjf policy requires service_estimates")
+            return ShortestJobFirstPolicy(self.service_estimates)
+        if self.name == "criticality":
+            return CriticalityPolicy(self.priorities or {})
+        if self.name == "dag":
+            if self.applications is None:
+                raise SchedulingError("dag policy requires applications")
+            return DAGAwarePolicy(self.applications)
+        raise SchedulingError(f"unknown scheduling policy {self.name!r}")

@@ -1,0 +1,198 @@
+"""Rack-scale discrete-event simulation (paper §6.1, §6.2.2).
+
+Up to 200 function instances serve a request trace under FCFS scheduling
+with a bounded queue (depth 10,000).  Per-request service times are drawn
+from the execution model's latency distribution for the request's
+application, pre-sampled in bulk for speed.  Outputs the queue-depth and
+latency time series of Fig. 13 plus aggregate wall-clock statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.schedulers import FCFSPolicy, PolicyFactory, QueuedRequest
+from repro.core.model import ServerlessExecutionModel
+from repro.cluster.trace import RequestTrace
+from repro.errors import ConfigurationError, SchedulingError
+from repro.serverless.application import Application
+from repro.sim.event_queue import Event, EventQueue
+
+# Number of latency samples pre-drawn per application.
+_PRESAMPLE_COUNT = 4096
+
+
+@dataclass
+class SimulationSeries:
+    """Time-series outputs of one rack simulation (Fig. 13 b-d)."""
+
+    sample_times: np.ndarray
+    queue_depth: np.ndarray
+    busy_instances: np.ndarray
+    completed_latency_seconds: np.ndarray
+    completed_times: np.ndarray
+    dropped_requests: int
+    total_requests: int
+
+    def mean_latency_per_bucket(self, bucket_seconds: float = 60.0) -> np.ndarray:
+        """Average request latency per time bucket (Fig. 13 c/d)."""
+        if bucket_seconds <= 0:
+            raise ConfigurationError(f"non-positive bucket: {bucket_seconds}")
+        if len(self.completed_times) == 0:
+            return np.array([])
+        horizon = float(self.sample_times[-1]) if len(self.sample_times) else 0.0
+        buckets = max(1, int(np.ceil(horizon / bucket_seconds)))
+        sums = np.zeros(buckets)
+        counts = np.zeros(buckets)
+        indices = np.minimum(
+            (self.completed_times / bucket_seconds).astype(int), buckets - 1
+        )
+        np.add.at(sums, indices, self.completed_latency_seconds)
+        np.add.at(counts, indices, 1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return means
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        """Time from first arrival to last completion."""
+        if len(self.completed_times) == 0:
+            return 0.0
+        return float(self.completed_times.max())
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        if len(self.completed_latency_seconds) == 0:
+            return 0.0
+        return float(self.completed_latency_seconds.mean())
+
+
+class RackSimulation:
+    """Rack simulator for one execution model under a scheduling policy.
+
+    Defaults to FCFS, the paper's deployed policy (§5.3); pass a
+    :class:`~repro.cluster.schedulers.PolicyFactory` to explore the
+    paper's future-work policies (SJF, criticality-, DAG-aware).
+    """
+
+    def __init__(
+        self,
+        model: ServerlessExecutionModel,
+        applications: Dict[str, Application],
+        max_instances: int = 200,
+        queue_depth: int = 10_000,
+        seed: int = 2024,
+        policy: Optional[PolicyFactory] = None,
+    ) -> None:
+        if max_instances <= 0:
+            raise ConfigurationError(f"non-positive instances: {max_instances}")
+        if queue_depth <= 0:
+            raise ConfigurationError(f"non-positive queue depth: {queue_depth}")
+        self._model = model
+        self._applications = dict(applications)
+        self._max_instances = max_instances
+        self._queue_depth = queue_depth
+        self._rng = np.random.default_rng(seed)
+        self._policy_factory = policy
+        self._service_samples: Dict[str, np.ndarray] = {}
+        self._service_cursor: Dict[str, int] = {}
+
+    def _service_time(self, app_name: str) -> float:
+        """Next pre-sampled service time for ``app_name``."""
+        if app_name not in self._service_samples:
+            app = self._applications.get(app_name)
+            if app is None:
+                raise SchedulingError(f"unknown application {app_name!r}")
+            self._service_samples[app_name] = self._model.sample_latencies(
+                app, self._rng, _PRESAMPLE_COUNT
+            )
+            self._service_cursor[app_name] = 0
+        samples = self._service_samples[app_name]
+        cursor = self._service_cursor[app_name]
+        self._service_cursor[app_name] = (cursor + 1) % len(samples)
+        return float(samples[cursor])
+
+    def run(
+        self, trace: RequestTrace, sample_interval_seconds: float = 1.0
+    ) -> SimulationSeries:
+        """Simulate ``trace`` and return the measurement series."""
+        if sample_interval_seconds <= 0:
+            raise ConfigurationError(
+                f"non-positive sample interval: {sample_interval_seconds}"
+            )
+
+        events = EventQueue()
+        if self._policy_factory is not None:
+            queue = self._policy_factory.build()
+        else:
+            queue = FCFSPolicy()
+        busy = 0
+        dropped = 0
+        latencies: List[float] = []
+        completion_times: List[float] = []
+        sample_times: List[float] = []
+        queue_series: List[int] = []
+        busy_series: List[int] = []
+
+        def start_service(request: QueuedRequest, now: float) -> None:
+            nonlocal busy
+            busy += 1
+            service = self._service_time(request.app_name)
+            done = now + service
+            events.push(Event(done, on_completion, (request, done)))
+
+        def on_arrival(payload) -> None:
+            request, now = payload
+            if busy < self._max_instances:
+                start_service(request, now)
+            elif len(queue) < self._queue_depth:
+                queue.push(request)
+            else:
+                nonlocal dropped
+                dropped += 1
+
+        def on_completion(payload) -> None:
+            nonlocal busy
+            request, now = payload
+            busy -= 1
+            latencies.append(now - request.arrival)
+            completion_times.append(now)
+            if len(queue):
+                start_service(queue.pop(), now)
+
+        def on_sample(payload) -> None:
+            now = payload
+            sample_times.append(now)
+            queue_series.append(len(queue))
+            busy_series.append(busy)
+
+        for sequence, (arrival, app_name) in enumerate(
+            zip(trace.arrival_seconds, trace.app_names)
+        ):
+            request = QueuedRequest(
+                arrival=float(arrival), app_name=app_name, sequence=sequence
+            )
+            events.push(
+                Event(float(arrival), on_arrival, (request, float(arrival)))
+            )
+        horizon = trace.duration_seconds
+        tick = sample_interval_seconds
+        while tick <= horizon:
+            events.push(Event(tick, on_sample, tick))
+            tick += sample_interval_seconds
+
+        while events:
+            events.pop().fire()
+
+        return SimulationSeries(
+            sample_times=np.array(sample_times),
+            queue_depth=np.array(queue_series),
+            busy_instances=np.array(busy_series),
+            completed_latency_seconds=np.array(latencies),
+            completed_times=np.array(completion_times),
+            dropped_requests=dropped,
+            total_requests=len(trace),
+        )

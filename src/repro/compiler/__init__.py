@@ -1,0 +1,28 @@
+"""Compiler from model graphs to DSA executables (paper §5.1).
+
+Pipeline: graph-level optimisation (operator fusion to keep intermediates
+in the shared output buffer), design-point-specific tiling/padding to
+overlap DMA with compute, and code generation to the tile-grained ISA.
+
+Typical use::
+
+    from repro.accelerator import DSAConfig
+    from repro.compiler import compile_graph
+    from repro.models.zoo import resnet50
+
+    executable = compile_graph(resnet50(), DSAConfig())
+    report = executable.simulate()
+"""
+
+from repro.compiler.executable import DSAExecutable, compile_graph
+from repro.compiler.frontend import FusionGroup, fuse
+from repro.compiler.tiling import TilePlan, plan_gemm
+
+__all__ = [
+    "DSAExecutable",
+    "FusionGroup",
+    "TilePlan",
+    "compile_graph",
+    "fuse",
+    "plan_gemm",
+]

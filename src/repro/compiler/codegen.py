@@ -1,0 +1,140 @@
+"""Code generation: fusion groups -> DSA instruction stream.
+
+Emission order follows the weight-stationary loop nest (n -> k -> m) with
+tile loads interleaved ahead of the systolic passes that consume them, so
+the cycle simulator's DMA engine can run ahead (double buffering).  Ops
+whose tiles cannot be double-buffered get a Sync before every weight load,
+serialising DMA and compute for that op.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.isa import (
+    GemmTile,
+    Halt,
+    Instruction,
+    LoadTile,
+    MemorySpace,
+    Program,
+    StoreTile,
+    Sync,
+    VectorOp,
+)
+from repro.compiler.frontend import FusionGroup, fuse
+from repro.compiler.tiling import plan_gemm
+from repro.errors import CompilationError
+from repro.models.graph import Graph
+from repro.models.ops import Conv2D, Embedding, GeMM, Op
+
+
+def _gemm_dims(op: Op) -> tuple[int, int, int]:
+    """Logical (M, N, K) of a matrix op."""
+    if isinstance(op, Conv2D):
+        return op.as_gemm_dims()
+    if isinstance(op, GeMM):
+        return op.batch * op.m, op.n, op.k
+    raise CompilationError(f"op {op.name!r} is not a matrix op")
+
+
+def _vector_cost(op: Op) -> int:
+    """Per-element cost for a vector op, derived from its FLOP accounting."""
+    elements = op.vector_elements()
+    if elements == 0:
+        return 1
+    return max(1, round(op.flops() / elements))
+
+
+def _emit_matrix_group(
+    group: FusionGroup, config: DSAConfig, out: List[Instruction]
+) -> None:
+    op = group.matrix_op
+    assert op is not None
+    m, n, k = _gemm_dims(op)
+    dtype_bytes = op.input.dtype.num_bytes
+    plan = plan_gemm(m, n, k, dtype_bytes, config)
+
+    for n_idx in range(plan.n_tiles):
+        tn = min(plan.tile_n, n - n_idx * plan.tile_n)
+        for k_idx in range(plan.k_tiles):
+            tk = min(plan.tile_k, k - k_idx * plan.tile_k)
+            if not plan.double_buffered:
+                out.append(Sync(op.name))
+            out.append(
+                LoadTile(
+                    op.name,
+                    num_bytes=tk * tn * dtype_bytes,
+                    destination=MemorySpace.WEIGHT_BUFFER,
+                )
+            )
+            load_activations = n_idx == 0 or not plan.activations_resident
+            for m_idx in range(plan.m_tiles):
+                tm = min(plan.tile_m, m - m_idx * plan.tile_m)
+                if load_activations:
+                    out.append(
+                        LoadTile(
+                            op.name,
+                            num_bytes=tm * tk * dtype_bytes,
+                            destination=MemorySpace.INPUT_BUFFER,
+                        )
+                    )
+                out.append(GemmTile(op.name, m=tm, n=tn, k=tk))
+
+    for vec_op in group.vector_ops:
+        out.append(
+            VectorOp(
+                vec_op.name,
+                elements=vec_op.vector_elements(),
+                cost_per_element=_vector_cost(vec_op),
+                fused=True,
+            )
+        )
+
+    out.append(StoreTile(group.name, num_bytes=group.output.size_bytes))
+
+
+def _emit_vector_group(group: FusionGroup, out: List[Instruction]) -> None:
+    first = group.vector_ops[0]
+    out.append(
+        LoadTile(
+            first.name,
+            num_bytes=first.input.size_bytes,
+            destination=MemorySpace.INPUT_BUFFER,
+        )
+    )
+    for index, vec_op in enumerate(group.vector_ops):
+        if isinstance(vec_op, Embedding):
+            # Gathered table rows are streamed from DRAM.
+            out.append(
+                LoadTile(
+                    vec_op.name,
+                    num_bytes=vec_op.infer_output().size_bytes,
+                    destination=MemorySpace.INPUT_BUFFER,
+                )
+            )
+        out.append(
+            VectorOp(
+                vec_op.name,
+                elements=vec_op.vector_elements(),
+                cost_per_element=_vector_cost(vec_op),
+                fused=index > 0,
+            )
+        )
+    out.append(StoreTile(group.name, num_bytes=group.output.size_bytes))
+
+
+def generate(graph: Graph, config: DSAConfig) -> Program:
+    """Compile ``graph`` into a DSA program for ``config``."""
+    groups = fuse(graph)
+    instructions: List[Instruction] = []
+    for group in groups:
+        if group.is_vector_only:
+            _emit_vector_group(group, instructions)
+        else:
+            _emit_matrix_group(group, config, instructions)
+    instructions.append(Halt("end"))
+    program = Program(model_name=graph.name, instructions=instructions)
+    program.validate()
+    return program

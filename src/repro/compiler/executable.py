@@ -1,0 +1,71 @@
+"""Executable packaging: compiled program + design point + metadata.
+
+Mirrors the paper's deployment flow: the compiler produces configuration-
+specific executable code that is "packaged along with the serverless
+function in the container".  A :class:`DSAExecutable` is that package; its
+:meth:`simulate` runs the cycle simulator, memoised because serverless
+platforms execute the same function image many times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.isa import Program
+from repro.accelerator.simulator import CycleSimulator, ExecutionReport
+from repro.compiler.codegen import generate
+from repro.models.graph import Graph
+
+
+@dataclass
+class DSAExecutable:
+    """A model graph compiled for a specific DSA design point."""
+
+    graph: Graph
+    config: DSAConfig
+    program: Program
+    _report: Optional[ExecutionReport] = field(default=None, repr=False)
+
+    @property
+    def model_name(self) -> str:
+        return self.graph.name
+
+    @property
+    def weight_bytes(self) -> int:
+        """Parameter footprint shipped in the function container image."""
+        return self.graph.stats().weight_bytes
+
+    def simulate(self, force: bool = False) -> ExecutionReport:
+        """Run (or reuse) the cycle simulation of this executable."""
+        if self._report is None or force:
+            simulator = CycleSimulator(self.config)
+            self._report = simulator.run(self.program)
+        return self._report
+
+    @property
+    def latency_s(self) -> float:
+        """Device compute latency (cycle-simulated)."""
+        return self.simulate().latency_s
+
+    @property
+    def energy_j(self) -> float:
+        """Device energy for one execution (cycle-simulated)."""
+        return self.simulate().energy_j
+
+
+def compile_graph(
+    graph: Graph, config: DSAConfig, verify: bool = False
+) -> DSAExecutable:
+    """Compile ``graph`` for ``config`` and return the executable package.
+
+    With ``verify=True`` the generated program is checked by the
+    independent verifier (:mod:`repro.compiler.verify`) before packaging.
+    """
+    program = generate(graph, config)
+    if verify:
+        from repro.compiler.verify import verify_program
+
+        verify_program(graph, program, config).require_ok()
+    return DSAExecutable(graph=graph, config=config, program=program)

@@ -1,0 +1,101 @@
+"""Graph-level compiler front end: operator fusion.
+
+The paper's front end "performs a range of optimizations, including
+operator fusion to minimize off-chip data movement".  Here a fusion group
+is one matrix op (GeMM/Conv) plus the chain of vector ops that immediately
+follows it — those execute on the VPU straight out of the shared output
+buffer, so their intermediates never travel to DRAM.  Vector ops with no
+preceding matrix op (pre-processing graphs) form VPU-only groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import CompilationError
+from repro.models.graph import Graph
+from repro.models.ops import Conv2D, GeMM, Op
+
+# A vector op whose output is this many times larger than the matrix op's
+# output cannot stay in the output buffer and breaks the fusion chain.
+_MAX_FUSED_EXPANSION = 4.0
+
+
+@dataclass
+class FusionGroup:
+    """One schedulable unit: an optional matrix op plus fused vector ops."""
+
+    matrix_op: Optional[Op] = None
+    vector_ops: List[Op] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.matrix_op is None and not self.vector_ops:
+            raise CompilationError("empty fusion group")
+        if self.matrix_op is not None and not isinstance(self.matrix_op, (GeMM, Conv2D)):
+            raise CompilationError(
+                f"matrix_op must be GeMM/Conv2D, got {type(self.matrix_op).__name__}"
+            )
+
+    @property
+    def name(self) -> str:
+        if self.matrix_op is not None:
+            return self.matrix_op.name
+        return self.vector_ops[0].name
+
+    @property
+    def input(self):
+        first = self.matrix_op if self.matrix_op is not None else self.vector_ops[0]
+        return first.input
+
+    @property
+    def output(self):
+        last = self.vector_ops[-1] if self.vector_ops else self.matrix_op
+        return last.infer_output()
+
+    @property
+    def is_vector_only(self) -> bool:
+        return self.matrix_op is None
+
+
+def _fusable_after_matrix(matrix_out_elements: int, op: Op) -> bool:
+    """Can ``op`` stay fused to the matrix op producing ``matrix_out_elements``?"""
+    if op.is_matrix_op:
+        return False
+    out_elements = op.infer_output().elements
+    return out_elements <= matrix_out_elements * _MAX_FUSED_EXPANSION
+
+
+def fuse(graph: Graph) -> List[FusionGroup]:
+    """Partition ``graph`` into fusion groups in execution order."""
+    groups: List[FusionGroup] = []
+    pending_vector: List[Op] = []
+    current: Optional[FusionGroup] = None
+
+    for op in graph:
+        if op.is_matrix_op:
+            if current is not None:
+                groups.append(current)
+            elif pending_vector:
+                groups.append(FusionGroup(matrix_op=None, vector_ops=pending_vector))
+                pending_vector = []
+            current = FusionGroup(matrix_op=op)
+        elif current is not None:
+            anchor_elements = current.matrix_op.infer_output().elements
+            if _fusable_after_matrix(anchor_elements, op):
+                current.vector_ops.append(op)
+            else:
+                groups.append(current)
+                current = None
+                pending_vector = [op]
+        else:
+            pending_vector.append(op)
+
+    if current is not None:
+        groups.append(current)
+    if pending_vector:
+        groups.append(FusionGroup(matrix_op=None, vector_ops=pending_vector))
+
+    if not groups:
+        raise CompilationError(f"graph {graph.name!r} produced no fusion groups")
+    return groups

@@ -1,0 +1,120 @@
+"""Design-point-specific tiling (paper §5.1, §4.2).
+
+The compiler clips weight tiles to the physical array (k <= pe_rows,
+n <= pe_cols), pads partial tiles implicitly (fill/drain is paid on the
+physical geometry by the MPU model), and sizes the activation tile so a
+double-buffered working set fits the scratchpad.  When even a single
+minimal tile cannot be double-buffered, the plan marks the op serial: the
+code generator then emits a Sync per tile, and memory transfer time is
+exposed — the effect that makes oversized arrays unattractive in the DSE.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.accelerator.config import DSAConfig
+from repro.errors import CompilationError
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Loop tiling for one GeMM of logical dims ``m x n x k``."""
+
+    m: int
+    n: int
+    k: int
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    dtype_bytes: int
+    double_buffered: bool
+    activations_resident: bool  # whole M x K activation fits on chip
+
+    @property
+    def m_tiles(self) -> int:
+        return math.ceil(self.m / self.tile_m)
+
+    @property
+    def n_tiles(self) -> int:
+        return math.ceil(self.n / self.tile_n)
+
+    @property
+    def k_tiles(self) -> int:
+        return math.ceil(self.k / self.tile_k)
+
+    @property
+    def num_weight_tiles(self) -> int:
+        return self.n_tiles * self.k_tiles
+
+    @property
+    def weight_tile_bytes(self) -> int:
+        return self.tile_k * self.tile_n * self.dtype_bytes
+
+    @property
+    def activation_tile_bytes(self) -> int:
+        return self.tile_m * self.tile_k * self.dtype_bytes
+
+    @property
+    def output_tile_bytes(self) -> int:
+        return self.tile_m * self.tile_n * self.dtype_bytes
+
+    @property
+    def activation_load_passes(self) -> int:
+        """How many times the full activation is streamed from DRAM."""
+        return 1 if self.activations_resident else self.n_tiles
+
+    def total_dram_traffic_bytes(self) -> int:
+        """Total DMA bytes for this op (weights + activations + outputs)."""
+        weights = self.k * self.n * self.dtype_bytes
+        activations = self.m * self.k * self.dtype_bytes * self.activation_load_passes
+        outputs = self.m * self.n * self.dtype_bytes
+        return weights + activations + outputs
+
+
+def plan_gemm(m: int, n: int, k: int, dtype_bytes: int, config: DSAConfig) -> TilePlan:
+    """Choose tile sizes for an ``m x n x k`` GeMM on ``config``."""
+    if min(m, n, k) <= 0:
+        raise CompilationError(f"invalid GeMM dims m={m} n={n} k={k}")
+    if dtype_bytes <= 0:
+        raise CompilationError(f"invalid dtype width {dtype_bytes}")
+
+    tile_k = min(k, config.pe_rows)
+    tile_n = min(n, config.pe_cols)
+
+    # Activation tile: half the input buffer (the other half is the double
+    # buffer), bounded below by one row.
+    half_input = config.input_buffer_bytes // 2
+    rows_fitting = max(1, half_input // max(1, tile_k * dtype_bytes))
+    tile_m = min(m, rows_fitting)
+
+    # Double buffering requires two in-flight working sets in the scratchpad:
+    # weight tile (weight buffer), activation tile (input buffer), and a
+    # 32-bit partial-sum tile (output buffer).
+    weight_ok = 2 * tile_k * tile_n * dtype_bytes <= config.weight_buffer_bytes
+    input_ok = 2 * tile_m * tile_k * dtype_bytes <= config.input_buffer_bytes
+    output_ok = 2 * tile_m * tile_n * 4 <= config.output_buffer_bytes
+    double_buffered = weight_ok and input_ok and output_ok
+
+    # If the partial-sum tile overflows the output buffer, shrink tile_m.
+    if not output_ok:
+        rows_for_output = max(1, config.output_buffer_bytes // (2 * tile_n * 4))
+        tile_m = min(tile_m, rows_for_output)
+        output_ok = 2 * tile_m * tile_n * 4 <= config.output_buffer_bytes
+        input_ok = 2 * tile_m * tile_k * dtype_bytes <= config.input_buffer_bytes
+        double_buffered = weight_ok and input_ok and output_ok
+
+    activations_resident = m * k * dtype_bytes <= config.input_buffer_bytes
+
+    return TilePlan(
+        m=m,
+        n=n,
+        k=k,
+        tile_m=tile_m,
+        tile_n=tile_n,
+        tile_k=tile_k,
+        dtype_bytes=dtype_bytes,
+        double_buffered=double_buffered,
+        activations_resident=activations_resident,
+    )

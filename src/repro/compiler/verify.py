@@ -1,0 +1,136 @@
+"""Compiler output verification.
+
+An independent checker for generated programs — the compiler-engineering
+equivalent of the paper's simulator-vs-FPGA validation.  It replays a
+program against the source graph and the target design point and checks:
+
+- **work conservation**: tile MACs sum exactly to the graph's MACs, and
+  vector element-ops cover every vector op in the graph;
+- **geometry**: every GEMM tile fits the physical array;
+- **traffic sanity**: DMA bytes at least cover the weights plus the graph
+  input and output (nothing can appear on chip for free);
+- **structure**: loads precede the compute that consumes them within each
+  op, and the program terminates with a single Halt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.isa import GemmTile, Halt, LoadTile, Program, VectorOp
+from repro.errors import CompilationError
+from repro.models.graph import Graph
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one compiled program."""
+
+    model_name: str
+    config_label: str
+    checks_passed: List[str] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def require_ok(self) -> None:
+        """Raise if any check failed."""
+        if not self.ok:
+            raise CompilationError(
+                f"program {self.model_name!r} failed verification: "
+                + "; ".join(self.problems)
+            )
+
+
+def verify_program(graph: Graph, program: Program, config: DSAConfig) -> VerificationReport:
+    """Run all checks; returns a report rather than raising."""
+    report = VerificationReport(
+        model_name=graph.name, config_label=config.label
+    )
+    stats = graph.stats()
+    macs, vector_ops, dma_bytes = program.totals()
+
+    # Work conservation.
+    if macs == stats.total_macs:
+        report.checks_passed.append("mac_conservation")
+    else:
+        report.problems.append(
+            f"MACs {macs} != graph MACs {stats.total_macs}"
+        )
+
+    graph_vector_ops = sum(
+        op.vector_elements() * max(1, round(op.flops() / max(1, op.vector_elements())))
+        for op in graph
+        if not op.is_matrix_op
+    )
+    if vector_ops >= graph_vector_ops * 0.99:
+        report.checks_passed.append("vector_coverage")
+    else:
+        report.problems.append(
+            f"vector element-ops {vector_ops} < graph's {graph_vector_ops}"
+        )
+
+    # Geometry.
+    oversized = [
+        i
+        for i in program
+        if isinstance(i, GemmTile) and (i.k > config.pe_rows or i.n > config.pe_cols)
+    ]
+    if not oversized:
+        report.checks_passed.append("tile_geometry")
+    else:
+        report.problems.append(f"{len(oversized)} tiles exceed the array")
+
+    # Traffic sanity.  Embedding tables are gathered, not streamed whole:
+    # only the looked-up rows must cross the DMA engine.
+    from repro.models.ops import Embedding
+
+    weight_floor = 0
+    for op in graph:
+        if isinstance(op, Embedding):
+            weight_floor += op.infer_output().size_bytes
+        else:
+            weight_floor += op.weight_bytes()
+    floor = weight_floor + stats.input_bytes + stats.output_bytes
+    if dma_bytes >= floor:
+        report.checks_passed.append("traffic_floor")
+    else:
+        report.problems.append(
+            f"DMA bytes {dma_bytes} below physical floor {floor}"
+        )
+
+    # Structure: each op's first compute must be preceded by a load for
+    # that op (vector ops fused to a producer are exempt).
+    pending_loads: set = set()
+    structural = True
+    for instruction in program:
+        if isinstance(instruction, LoadTile):
+            pending_loads.add(instruction.op_name)
+        elif isinstance(instruction, GemmTile):
+            if instruction.op_name not in pending_loads:
+                structural = False
+                report.problems.append(
+                    f"GEMM for {instruction.op_name!r} before any load"
+                )
+                break
+        elif isinstance(instruction, VectorOp):
+            if not instruction.fused and instruction.op_name not in pending_loads:
+                structural = False
+                report.problems.append(
+                    f"unfused VOP for {instruction.op_name!r} before any load"
+                )
+                break
+    if structural:
+        report.checks_passed.append("load_before_compute")
+
+    halts = [i for i in program if isinstance(i, Halt)]
+    if len(halts) == 1 and isinstance(program.instructions[-1], Halt):
+        report.checks_passed.append("single_trailing_halt")
+    else:
+        report.problems.append("missing or misplaced Halt")
+
+    return report

@@ -1,0 +1,33 @@
+"""The DSCS-Serverless execution model — the paper's core contribution.
+
+Given an application (a chain of serverless functions), a compute platform
+(Table 2), and a storage fabric, the execution models produce end-to-end
+latency breakdowns and system-energy figures for a single invocation:
+
+- :class:`~repro.core.model.ServerlessExecutionModel` routes each function
+  along the data path its platform implies — remote storage over the
+  network for traditional platforms, local host I/O for near-storage
+  platforms, and the flash->DSA peer-to-peer path for DSCS-Serverless.
+- :class:`~repro.core.breakdown.LatencyBreakdown` /
+  :class:`~repro.core.breakdown.EnergyBreakdown` carry the component
+  decomposition every figure in the evaluation is built from.
+"""
+
+from repro.core.breakdown import (
+    Component,
+    EnergyBreakdown,
+    InvocationResult,
+    LatencyBreakdown,
+)
+from repro.core.fabric import StorageFabric
+from repro.core.model import ServerlessExecutionModel, execution_model_for
+
+__all__ = [
+    "Component",
+    "EnergyBreakdown",
+    "InvocationResult",
+    "LatencyBreakdown",
+    "ServerlessExecutionModel",
+    "StorageFabric",
+    "execution_model_for",
+]

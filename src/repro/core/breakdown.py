@@ -1,0 +1,131 @@
+"""Latency and energy decompositions (paper Fig. 4, Fig. 10, Fig. 11).
+
+Every invocation's end-to-end time decomposes into named components; the
+runtime-breakdown and energy figures are direct aggregations of these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class Component(enum.Enum):
+    """End-to-end latency components."""
+
+    SYSTEM_STACK = "system_stack"  # OpenFaaS/Kubernetes launch + orchestration
+    REMOTE_READ = "remote_read"  # RPC + network + storage I/O (read)
+    REMOTE_WRITE = "remote_write"  # RPC + network + storage I/O (write)
+    LOCAL_READ = "local_read"  # near-storage host I/O (read)
+    LOCAL_WRITE = "local_write"  # near-storage host I/O (write)
+    P2P_READ = "p2p_read"  # flash -> DSA staging DRAM
+    P2P_WRITE = "p2p_write"  # DSA staging DRAM -> flash
+    DEVICE_COPY = "device_copy"  # host <-> discrete-accelerator PCIe copies
+    DRIVER = "driver"  # device driver / runtime dispatch
+    COMPUTE = "compute"  # model execution on the evaluated platform
+    CPU_COMPUTE = "cpu_compute"  # plain-CPU function work (notification)
+    COLD_START = "cold_start"  # container pull/unpack/health/weight load
+
+
+# Communication-type components (the paper's "remote read/write parts").
+COMMUNICATION_COMPONENTS = frozenset(
+    {
+        Component.REMOTE_READ,
+        Component.REMOTE_WRITE,
+        Component.LOCAL_READ,
+        Component.LOCAL_WRITE,
+        Component.P2P_READ,
+        Component.P2P_WRITE,
+        Component.DEVICE_COPY,
+    }
+)
+
+
+@dataclass
+class LatencyBreakdown:
+    """Seconds spent per component for one invocation."""
+
+    seconds: Dict[Component, float] = field(default_factory=dict)
+
+    def add(self, component: Component, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError(
+                f"negative latency for {component.value}: {value}"
+            )
+        self.seconds[component] = self.seconds.get(component, 0.0) + value
+
+    def get(self, component: Component) -> float:
+        return self.seconds.get(component, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def communication(self) -> float:
+        """Total data-movement time (network + I/O + copies)."""
+        return sum(
+            value
+            for component, value in self.seconds.items()
+            if component in COMMUNICATION_COMPONENTS
+        )
+
+    @property
+    def compute(self) -> float:
+        return self.get(Component.COMPUTE) + self.get(Component.CPU_COMPUTE)
+
+    def fractions(self) -> Dict[Component, float]:
+        """Per-component share of the total."""
+        total = self.total
+        if total <= 0:
+            return {component: 0.0 for component in self.seconds}
+        return {c: v / total for c, v in self.seconds.items()}
+
+    def merged(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        """Return a new breakdown summing both."""
+        result = LatencyBreakdown(dict(self.seconds))
+        for component, value in other.seconds.items():
+            result.add(component, value)
+        return result
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules spent per subsystem for one invocation."""
+
+    compute_j: float = 0.0  # evaluated platform executing models
+    host_cpu_j: float = 0.0  # system stack, driver, serialization, f3
+    pcie_j: float = 0.0  # host I/O + P2P + device copies
+    storage_j: float = 0.0  # drive active energy during I/O
+
+    def __post_init__(self) -> None:
+        for name in ("compute_j", "host_cpu_j", "pcie_j", "storage_j"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"negative energy: {name}")
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.host_cpu_j + self.pcie_j + self.storage_j
+
+
+@dataclass
+class InvocationResult:
+    """Everything measured for one end-to-end application invocation."""
+
+    application: str
+    platform: str
+    latency: LatencyBreakdown
+    energy: EnergyBreakdown
+    batch: int = 1
+    cold: bool = False
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency.total
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy.total_j

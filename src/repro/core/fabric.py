@@ -1,0 +1,125 @@
+"""The storage fabric an execution model reads and writes through.
+
+Bundles the three data paths of the paper's Fig. 5/Fig. 10:
+
+- **remote**: compute node -> network/RPC -> storage node -> drive
+  (traditional platforms);
+- **local**: storage-node host -> PCIe -> drive (conventional
+  near-storage platforms);
+- **p2p**: flash -> staging DRAM inside the DSCS-Drive (DSCS-Serverless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.rpc import RPCStack
+from repro.storage.drive import DSCSDrive, SSDDrive
+from repro.units import US
+
+
+@dataclass
+class StorageFabric:
+    """Data-path latency/energy model shared by all execution models."""
+
+    rpc: RPCStack = field(default_factory=RPCStack)
+    drive: SSDDrive = field(default_factory=SSDDrive)
+    dscs_drive: DSCSDrive = field(default_factory=DSCSDrive)
+    local_syscall_seconds: float = 8 * US
+    local_syscalls_per_io: int = 3
+
+    def __post_init__(self) -> None:
+        if self.local_syscall_seconds < 0 or self.local_syscalls_per_io < 0:
+            raise ConfigurationError("negative local-I/O overhead")
+
+    # --- remote path (traditional) ---------------------------------------
+    def remote_read_seconds(self, num_bytes: int, rng: np.random.Generator) -> float:
+        return self.rpc.sample_request(num_bytes, rng) + self.drive.host_read_seconds(
+            num_bytes
+        )
+
+    def remote_write_seconds(self, num_bytes: int, rng: np.random.Generator) -> float:
+        return self.rpc.sample_request(num_bytes, rng) + self.drive.host_write_seconds(
+            num_bytes
+        )
+
+    def remote_read_many(
+        self, num_bytes: int, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        return self.rpc.sample_request_many(
+            num_bytes, rng, count
+        ) + self.drive.host_read_seconds(num_bytes)
+
+    def remote_write_many(
+        self, num_bytes: int, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        return self.rpc.sample_request_many(
+            num_bytes, rng, count
+        ) + self.drive.host_write_seconds(num_bytes)
+
+    def sample_multipliers(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Per-request congestion multipliers (shared across a request's
+        remote accesses — congestion persists for the request's lifetime)."""
+        return self.rpc.network.sample_multipliers(rng, count)
+
+    def sample_multiplier(self, rng: np.random.Generator) -> float:
+        return self.rpc.network.sample_multiplier(rng)
+
+    def remote_read_with_multiplier(self, num_bytes: int, multiplier):
+        """Remote read under a given congestion multiplier (scalar/array)."""
+        return self.rpc.request_with_multiplier(
+            num_bytes, multiplier
+        ) + self.drive.host_read_seconds(num_bytes)
+
+    def remote_write_with_multiplier(self, num_bytes: int, multiplier):
+        """Remote write under a given congestion multiplier (scalar/array)."""
+        return self.rpc.request_with_multiplier(
+            num_bytes, multiplier
+        ) + self.drive.host_write_seconds(num_bytes)
+
+    def median_remote_read_seconds(self, num_bytes: int) -> float:
+        return self.rpc.median_request(num_bytes) + self.drive.host_read_seconds(
+            num_bytes
+        )
+
+    # --- local path (conventional near-storage) ---------------------------
+    def _local_software_seconds(self) -> float:
+        return self.local_syscall_seconds * self.local_syscalls_per_io
+
+    def local_read_seconds(self, num_bytes: int) -> float:
+        """Host read on the storage node itself: syscalls + device I/O."""
+        return self._local_software_seconds() + self.drive.host_read_seconds(num_bytes)
+
+    def local_write_seconds(self, num_bytes: int) -> float:
+        return self._local_software_seconds() + self.drive.host_write_seconds(
+            num_bytes
+        )
+
+    # --- P2P path (DSCS) --------------------------------------------------
+    def p2p_read_seconds(self, num_bytes: int) -> float:
+        """Flash -> staging DRAM, bypassing the host software stack."""
+        return self.dscs_drive.p2p_read_seconds(num_bytes)
+
+    def p2p_write_seconds(self, num_bytes: int) -> float:
+        return self.dscs_drive.p2p_write_seconds(num_bytes)
+
+    # --- energy helpers ----------------------------------------------------
+    def pcie_energy_j(self, num_bytes: int) -> float:
+        """PCIe transfer energy for ``num_bytes`` on the drive link."""
+        return self.drive.host_link.transfer_energy_j(num_bytes)
+
+    def p2p_energy_j(self, num_bytes: int) -> float:
+        return self.dscs_drive.p2p_energy_j(num_bytes)
+
+    def with_tail_ratio(self, p99_over_median: float) -> "StorageFabric":
+        """Copy with the network tail ratio replaced (Fig. 15 sweep)."""
+        return StorageFabric(
+            rpc=self.rpc.with_tail_ratio(p99_over_median),
+            drive=self.drive,
+            dscs_drive=self.dscs_drive,
+            local_syscall_seconds=self.local_syscall_seconds,
+            local_syscalls_per_io=self.local_syscalls_per_io,
+        )

@@ -1,0 +1,307 @@
+"""End-to-end execution models: traditional, near-storage, and DSCS.
+
+One class routes each function of an application along the data path its
+platform implies (paper §2.1 vs §3.1):
+
+- **Traditional** (CPU/GPU/FPGA in a compute node): every function reads
+  its input from remote storage over the RPC stack and writes its output
+  back; discrete accelerators additionally pay driver dispatch and
+  host<->device PCIe copies.
+- **Near-storage** (NS-ARM / NS-Mobile-GPU / NS-FPGA): the model functions
+  run on the storage node, so reads/writes become local host I/O; the
+  notification function still runs on a remote compute node.
+- **DSCS**: model functions execute on the in-storage DSA; data moves over
+  the flash->DRAM P2P link initiated by a single driver syscall, and the
+  completion interrupt hands results back (paper §3.1 steps 1-3).
+
+Latency is sampled per invocation (remote paths have lognormal tails);
+:meth:`ServerlessExecutionModel.sample_latencies` vectorises the sampling
+for the paper's 10,000-request p95 methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.breakdown import (
+    Component,
+    EnergyBreakdown,
+    InvocationResult,
+    LatencyBreakdown,
+)
+from repro.core.fabric import StorageFabric
+from repro.errors import ConfigurationError
+from repro.platforms.base import AnalyticalPlatform, ComputePlatform, PlatformKind
+from repro.serverless.application import Application
+from repro.serverless.coldstart import ColdStartModel
+from repro.serverless.driver import OpenCLDriver
+from repro.serverless.function import ServerlessFunction
+from repro.units import MB, MS
+
+# Warm-container launch/orchestration overhead per function (OpenFaaS +
+# Kubernetes dispatch, paper Fig. 4's "system stack").
+DEFAULT_STACK_SECONDS = 12 * MS
+
+
+def _default_host_cpu() -> AnalyticalPlatform:
+    from repro.platforms.registry import baseline_cpu
+
+    return baseline_cpu()
+
+
+@dataclass
+class ServerlessExecutionModel:
+    """Latency/energy model for one (platform, fabric) system."""
+
+    platform: ComputePlatform
+    fabric: StorageFabric = field(default_factory=StorageFabric)
+    host_cpu: AnalyticalPlatform = field(default_factory=_default_host_cpu)
+    stack_seconds_per_function: float = DEFAULT_STACK_SECONDS
+    driver: OpenCLDriver = field(default_factory=OpenCLDriver)
+    coldstart: ColdStartModel = field(default_factory=ColdStartModel)
+    container_base_bytes: int = 64 * MB
+    # Paper §5.3 (function chaining): consecutive functions accelerated by
+    # the same DSA keep their intermediate tensors in the drive's staging
+    # DRAM, skipping the P2P write + re-read between them.
+    fuse_chained_functions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.stack_seconds_per_function < 0:
+            raise ConfigurationError("negative system-stack overhead")
+
+    # ------------------------------------------------------------------
+    def _runs_on_platform(self, function: ServerlessFunction) -> bool:
+        """Model functions run on the evaluated platform; others on CPU."""
+        return function.graph is not None
+
+    def _image_bytes(self, function: ServerlessFunction) -> int:
+        return self.container_base_bytes + function.weight_bytes
+
+    def _cold_seconds(self, function: ServerlessFunction) -> float:
+        """Cold-start cost for one function on this system.
+
+        DSCS-Serverless reloads a flash-parked image over the P2P link
+        (paper §5.3); every other system pulls from the remote registry.
+        """
+        image = self._image_bytes(function)
+        if self.platform.kind is PlatformKind.DSCS and self._runs_on_platform(
+            function
+        ):
+            return self.coldstart.p2p_reload_seconds(image, self.fabric.dscs_drive)
+        return self.coldstart.cold_start_seconds(image)
+
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        app: Application,
+        rng: np.random.Generator,
+        batch: int = 1,
+        cold: bool = False,
+    ) -> InvocationResult:
+        """Run one end-to-end invocation; returns the full decomposition."""
+        if batch <= 0:
+            raise ConfigurationError(f"batch must be positive, got {batch}")
+        latency = LatencyBreakdown()
+        compute_j = 0.0
+        host_cpu_j = 0.0
+        pcie_j = 0.0
+        storage_j = 0.0
+        kind = self.platform.kind
+        # One congestion draw per invocation: all of this request's remote
+        # accesses see the same network weather (tails are correlated
+        # within a request, which is why DSCS's advantage *grows* at the
+        # tail — paper Fig. 15).
+        multiplier = self.fabric.sample_multiplier(rng)
+
+        for index, function in enumerate(app.functions):
+            in_bytes = app.function_input_bytes(index) * batch
+            out_bytes = app.function_output_bytes(index) * batch
+
+            latency.add(Component.SYSTEM_STACK, self.stack_seconds_per_function)
+            host_cpu_j += (
+                self.host_cpu.active_power_watts * self.stack_seconds_per_function
+            )
+
+            if cold:
+                latency.add(Component.COLD_START, self._cold_seconds(function))
+
+            on_platform = self._runs_on_platform(function)
+
+            if not on_platform:
+                # Notification-style function: always a remote compute node.
+                read = self.fabric.remote_read_with_multiplier(in_bytes, multiplier)
+                write = self.fabric.remote_write_with_multiplier(
+                    out_bytes, multiplier
+                )
+                latency.add(Component.REMOTE_READ, read)
+                latency.add(Component.REMOTE_WRITE, write)
+                latency.add(Component.CPU_COMPUTE, function.cpu_work_seconds)
+                compute_j += (
+                    self.host_cpu.active_power_watts * function.cpu_work_seconds
+                )
+                host_cpu_j += self.host_cpu.idle_power_watts * (read + write)
+                pcie_j += self.fabric.pcie_energy_j(in_bytes + out_bytes)
+                storage_j += self._drive_energy_j(in_bytes + out_bytes)
+                continue
+
+            graph = function.graph
+            compute = self.platform.compute_latency_seconds(graph, batch)
+
+            if kind is PlatformKind.TRADITIONAL:
+                read = self.fabric.remote_read_with_multiplier(in_bytes, multiplier)
+                write = self.fabric.remote_write_with_multiplier(
+                    out_bytes, multiplier
+                )
+                latency.add(Component.REMOTE_READ, read)
+                latency.add(Component.REMOTE_WRITE, write)
+                host_cpu_j += self.host_cpu.idle_power_watts * (read + write)
+                if self.platform.is_accelerator:
+                    latency.add(
+                        Component.DRIVER, self.platform.driver_overhead_seconds
+                    )
+                    copies = self.platform.device_copy_seconds(
+                        in_bytes
+                    ) + self.platform.device_copy_seconds(out_bytes)
+                    latency.add(Component.DEVICE_COPY, copies)
+                    host_cpu_j += (
+                        self.host_cpu.active_power_watts
+                        * self.platform.driver_overhead_seconds
+                    )
+                    if self.platform.device_link is not None:
+                        pcie_j += self.platform.device_link.transfer_energy_j(
+                            in_bytes + out_bytes
+                        )
+                    # The discrete accelerator idles (but stays powered)
+                    # while the function waits on remote storage — a big
+                    # part of why high-power accelerators lose on system
+                    # energy in disaggregated datacenters (paper Fig. 11).
+                    compute_j += self.platform.idle_power_watts * (read + write)
+                pcie_j += self.fabric.pcie_energy_j(in_bytes + out_bytes)
+                storage_j += self._drive_energy_j(in_bytes + out_bytes)
+            elif kind is PlatformKind.NEAR_STORAGE:
+                read = self.fabric.local_read_seconds(in_bytes)
+                write = self.fabric.local_write_seconds(out_bytes)
+                latency.add(Component.LOCAL_READ, read)
+                latency.add(Component.LOCAL_WRITE, write)
+                if self.platform.is_accelerator:
+                    latency.add(
+                        Component.DRIVER, self.platform.driver_overhead_seconds
+                    )
+                    host_cpu_j += (
+                        self.host_cpu.active_power_watts
+                        * self.platform.driver_overhead_seconds
+                    )
+                # The storage node's host CPU stays resident (issuing I/O,
+                # holding the container) while the near-storage device works.
+                host_cpu_j += self.host_cpu.idle_power_watts * (
+                    read + write + compute
+                )
+                pcie_j += self.fabric.pcie_energy_j(in_bytes + out_bytes)
+                storage_j += self._drive_energy_j(in_bytes + out_bytes)
+            elif kind is PlatformKind.DSCS:
+                prev_on_dsa = index > 0 and self._runs_on_platform(
+                    app.functions[index - 1]
+                )
+                next_on_dsa = index + 1 < len(app.functions) and (
+                    self._runs_on_platform(app.functions[index + 1])
+                )
+                fuse_in = self.fuse_chained_functions and prev_on_dsa
+                fuse_out = self.fuse_chained_functions and next_on_dsa
+                read = 0.0 if fuse_in else self.fabric.p2p_read_seconds(in_bytes)
+                write = 0.0 if fuse_out else self.fabric.p2p_write_seconds(
+                    out_bytes
+                )
+                latency.add(Component.P2P_READ, read)
+                latency.add(Component.P2P_WRITE, write)
+                latency.add(Component.DRIVER, self.driver.round_trip_seconds())
+                host_cpu_j += (
+                    self.host_cpu.active_power_watts
+                    * self.driver.round_trip_seconds()
+                )
+                # Host waits for the completion interrupt at idle power.
+                host_cpu_j += self.host_cpu.idle_power_watts * (
+                    read + write + compute
+                )
+                pcie_j += self.fabric.p2p_energy_j(in_bytes + out_bytes)
+                storage_j += self._drive_energy_j(in_bytes + out_bytes)
+            else:  # pragma: no cover - defensive
+                raise ConfigurationError(f"unknown platform kind {kind}")
+
+            latency.add(Component.COMPUTE, compute)
+            compute_j += self.platform.compute_energy_joules(graph, batch)
+
+        energy = EnergyBreakdown(
+            compute_j=compute_j,
+            host_cpu_j=host_cpu_j,
+            pcie_j=pcie_j,
+            storage_j=storage_j,
+        )
+        return InvocationResult(
+            application=app.name,
+            platform=self.platform.name,
+            latency=latency,
+            energy=energy,
+            batch=batch,
+            cold=cold,
+        )
+
+    def _drive_energy_j(self, num_bytes: int) -> float:
+        """Flash-array active energy while streaming ``num_bytes``."""
+        drive = self.fabric.drive
+        stream_seconds = num_bytes / drive.flash.stream_bandwidth_bytes_per_s
+        return drive.active_power_watts * stream_seconds
+
+    # ------------------------------------------------------------------
+    def sample_latencies(
+        self,
+        app: Application,
+        rng: np.random.Generator,
+        count: int,
+        batch: int = 1,
+        cold: bool = False,
+    ) -> np.ndarray:
+        """Vectorised end-to-end latency samples (paper: 10,000 requests).
+
+        Deterministic components are computed once; the tailed remote-path
+        terms are sampled ``count`` times.
+        """
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count}")
+        base = self.invoke(app, rng, batch=batch, cold=cold)
+        deterministic = base.latency.total
+        deterministic -= base.latency.get(Component.REMOTE_READ)
+        deterministic -= base.latency.get(Component.REMOTE_WRITE)
+
+        samples = np.full(count, deterministic)
+        # One congestion multiplier per simulated request, shared by every
+        # remote access that request makes.
+        multipliers = self.fabric.sample_multipliers(rng, count)
+        kind = self.platform.kind
+        for index, function in enumerate(app.functions):
+            remote = (
+                not self._runs_on_platform(function)
+                or kind is PlatformKind.TRADITIONAL
+            )
+            if not remote:
+                continue
+            in_bytes = app.function_input_bytes(index) * batch
+            out_bytes = app.function_output_bytes(index) * batch
+            samples = samples + self.fabric.remote_read_with_multiplier(
+                in_bytes, multipliers
+            )
+            samples = samples + self.fabric.remote_write_with_multiplier(
+                out_bytes, multipliers
+            )
+        return samples
+
+
+def execution_model_for(
+    platform: ComputePlatform, fabric: Optional[StorageFabric] = None
+) -> ServerlessExecutionModel:
+    """Convenience constructor with shared defaults."""
+    return ServerlessExecutionModel(
+        platform=platform, fabric=fabric or StorageFabric()
+    )

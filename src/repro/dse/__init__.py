@@ -1,0 +1,18 @@
+"""Design-space exploration for the in-storage DSA (paper §4.2).
+
+Sweeps systolic-array geometry (4-1024 per side, powers of two), buffer
+capacity (proportional to the PE count, capped at 32 MB), and memory
+technology (DDR4/DDR5/HBM2) — more than 650 candidate configurations —
+then extracts power-performance and area-performance Pareto frontiers
+under the 25 W storage power budget.
+"""
+
+from repro.dse.explorer import DesignPointResult, DSEExplorer
+from repro.dse.space import design_space, paper_search_space_size
+
+__all__ = [
+    "DSEExplorer",
+    "DesignPointResult",
+    "design_space",
+    "paper_search_space_size",
+]

@@ -1,0 +1,156 @@
+"""Evaluates design points and extracts Pareto frontiers (Figs. 7/8).
+
+Each candidate is evaluated by compiling a set of evaluation models and
+cycle-simulating them; throughput is the average frames/sec across the
+set, dynamic power is the simulated energy over runtime, and area comes
+from the analytical model.  Feasibility enforces the storage drive's power
+budget after scaling to the deployment technology node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import (
+    ACCELERATOR_POWER_SHARE,
+    DSAConfig,
+    SMARTSSD_POWER_BUDGET_WATTS,
+)
+from repro.accelerator.power import PowerModel
+from repro.accelerator.scaling import scale_power
+from repro.analysis.pareto import DesignPoint2D, pareto_front_points
+from repro.compiler.executable import compile_graph
+from repro.errors import ConfigurationError
+from repro.models.graph import Graph
+
+
+def _default_eval_models() -> List[Graph]:
+    """A light but representative model set (CNN + transformer)."""
+    from repro.models.zoo import resnet50, vit
+
+    return [resnet50(), vit(dim=384, layers=12, heads=6)]
+
+
+@dataclass(frozen=True)
+class DesignPointResult:
+    """Evaluation outcome for one DSA configuration."""
+
+    config: DSAConfig
+    throughput_fps: float
+    dynamic_power_watts: float
+    total_power_watts: float
+    area_mm2: float
+    feasible: bool
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+
+class DSEExplorer:
+    """Runs the §4.2 exploration over a set of candidate configs."""
+
+    def __init__(
+        self,
+        eval_models: Optional[Sequence[Graph]] = None,
+        deployment_node_nm: int = 45,
+        power_budget_watts: float = SMARTSSD_POWER_BUDGET_WATTS
+        * ACCELERATOR_POWER_SHARE,
+    ) -> None:
+        """``deployment_node_nm`` defaults to the 45 nm synthesis node —
+        the conservative budget check under which the paper's Dim128
+        point is the largest feasible array.  Pass 14 to budget against
+        the scaled deployment silicon instead."""
+        if power_budget_watts <= 0:
+            raise ConfigurationError("non-positive power budget")
+        self._models = list(eval_models) if eval_models else _default_eval_models()
+        self._deployment_node_nm = deployment_node_nm
+        self._power_budget_watts = power_budget_watts
+        self._cache: Dict[str, DesignPointResult] = {}
+
+    @property
+    def eval_models(self) -> List[Graph]:
+        return list(self._models)
+
+    def evaluate(self, config: DSAConfig) -> DesignPointResult:
+        """Cycle-simulate the eval set on ``config``."""
+        if config.label in self._cache:
+            return self._cache[config.label]
+
+        total_latency = 0.0
+        dynamic_j = 0.0
+        fps_values = []
+        power_model = PowerModel(config)
+        for graph in self._models:
+            report = compile_graph(graph, config).simulate()
+            total_latency += report.latency_s
+            dynamic_j += report.energy.total_j - report.energy.leakage_j
+            fps_values.append(1.0 / report.latency_s)
+        throughput = sum(fps_values) / len(fps_values)
+        dynamic_power = dynamic_j / total_latency if total_latency > 0 else 0.0
+        total_power = dynamic_power + power_model.leakage_watts()
+
+        if config.tech_node_nm == 45:
+            deployed_power = scale_power(total_power, self._deployment_node_nm)
+        else:
+            deployed_power = total_power
+        # The DRAM interface PHY does not scale with the logic node and
+        # draws from the same drive budget.
+        deployed_power += config.memory.interface_power_watts
+        feasible = deployed_power <= self._power_budget_watts
+
+        result = DesignPointResult(
+            config=config,
+            throughput_fps=throughput,
+            dynamic_power_watts=dynamic_power,
+            total_power_watts=total_power,
+            area_mm2=AreaModel(config).total_mm2(),
+            feasible=feasible,
+        )
+        self._cache[config.label] = result
+        return result
+
+    def sweep(self, configs: Sequence[DSAConfig]) -> List[DesignPointResult]:
+        """Evaluate every candidate configuration."""
+        if not configs:
+            raise ConfigurationError("empty candidate list")
+        return [self.evaluate(config) for config in configs]
+
+    @staticmethod
+    def power_pareto(results: Sequence[DesignPointResult]) -> List[DesignPointResult]:
+        """Power-performance frontier (Fig. 7)."""
+        points = [
+            DesignPoint2D(r.label, r.throughput_fps, r.dynamic_power_watts)
+            for r in results
+        ]
+        front_labels = {p.label for p in pareto_front_points(points)}
+        return [r for r in results if r.label in front_labels]
+
+    @staticmethod
+    def area_pareto(results: Sequence[DesignPointResult]) -> List[DesignPointResult]:
+        """Area-performance frontier (Fig. 8)."""
+        points = [
+            DesignPoint2D(r.label, r.throughput_fps, r.area_mm2) for r in results
+        ]
+        front_labels = {p.label for p in pareto_front_points(points)}
+        return [r for r in results if r.label in front_labels]
+
+    def best_feasible(
+        self, results: Sequence[DesignPointResult]
+    ) -> DesignPointResult:
+        """Highest-throughput point inside the power budget.
+
+        This is how the paper lands on Dim128-4MB-DDR5.
+        """
+        feasible = [r for r in results if r.feasible]
+        if not feasible:
+            raise ConfigurationError("no feasible design point under the budget")
+        # Max throughput; near-ties (within 5%) resolve to the smaller die,
+        # since area is the paper's proxy for fabrication cost.
+        best_fps = max(r.throughput_fps for r in feasible)
+        contenders = [
+            r for r in feasible if r.throughput_fps >= 0.95 * best_fps
+        ]
+        return min(contenders, key=lambda r: r.area_mm2)

@@ -1,0 +1,82 @@
+"""The DSA search space (paper §4.2).
+
+The paper scales the TPUv1-style standard point by sweeping the systolic
+array from 4x4 to 1024x1024 (power-of-two stride, rectangular aspects
+included), scaling buffers proportionally with a 32 MB cap (larger
+scratchpads blow the storage power budget), and trying three memory
+technologies — over 650 configurations in total.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.accelerator.config import DDR4, DDR5, HBM2, DSAConfig
+from repro.errors import ConfigurationError
+from repro.units import GHZ, KB, MB
+
+ARRAY_DIMS = [4, 8, 16, 32, 64, 128, 256, 512, 1024]
+MEMORIES = [DDR4, DDR5, HBM2]
+# Buffer bytes per PE; TPUv1's 28 MB / 64K PEs ~ 448 B/PE sits mid-range,
+# and 256 B/PE yields the paper's 4 MB point at 128x128.
+BUFFER_BYTES_PER_PE = [64, 128, 256, 448, 1024, 2048, 4096]
+MIN_BUFFER_BYTES = 64 * KB
+MAX_BUFFER_BYTES = 32 * MB
+# Keep aspect ratios within 8:1 — extreme aspect ratios are not routable.
+MAX_ASPECT_RATIO = 8
+
+
+def _buffer_for(num_pes: int, bytes_per_pe: int) -> int:
+    raw = num_pes * bytes_per_pe
+    return max(MIN_BUFFER_BYTES, min(MAX_BUFFER_BYTES, raw))
+
+
+def design_space(
+    square_only: bool = False,
+    frequency_hz: float = 1.0 * GHZ,
+    tech_node_nm: int = 45,
+) -> List[DSAConfig]:
+    """Enumerate the search space (deduplicated).
+
+    ``square_only`` restricts to square arrays — a coarse subset used by
+    quick benchmarks; the full space exceeds the paper's 650 points.
+    """
+    if frequency_hz <= 0:
+        raise ConfigurationError(f"non-positive frequency {frequency_hz}")
+    seen = set()
+    configs: List[DSAConfig] = []
+    for rows in ARRAY_DIMS:
+        for cols in ARRAY_DIMS:
+            if square_only and rows != cols:
+                continue
+            aspect = max(rows, cols) / min(rows, cols)
+            if aspect > MAX_ASPECT_RATIO:
+                continue
+            for bytes_per_pe in BUFFER_BYTES_PER_PE:
+                buffer_bytes = _buffer_for(rows * cols, bytes_per_pe)
+                for memory in MEMORIES:
+                    key = (rows, cols, buffer_bytes, memory.name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    configs.append(
+                        DSAConfig(
+                            pe_rows=rows,
+                            pe_cols=cols,
+                            buffer_bytes=buffer_bytes,
+                            memory=memory,
+                            frequency_hz=frequency_hz,
+                            tech_node_nm=tech_node_nm,
+                        )
+                    )
+    return configs
+
+
+def paper_search_space_size() -> int:
+    """Size of the full (non-square-restricted) space."""
+    return len(design_space(square_only=False))
+
+
+def iter_design_space(**kwargs) -> Iterator[DSAConfig]:
+    """Lazily iterate the design space."""
+    yield from design_space(**kwargs)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the DSCS-Serverless reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+library failures without also catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are inconsistent in a model graph."""
+
+
+class CompilationError(ReproError):
+    """The compiler could not lower a model graph to the DSA ISA."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level or discrete-event simulator hit an invalid state."""
+
+
+class StorageError(ReproError):
+    """An object-store or drive operation failed."""
+
+
+class SchedulingError(ReproError):
+    """The serverless scheduler could not place or admit a request."""
+
+
+class DeploymentError(ReproError):
+    """A serverless function or application was deployed incorrectly."""

@@ -1,0 +1,20 @@
+"""Experiment definitions: the Table 1 suite and per-figure harnesses.
+
+Each ``figNN`` module regenerates the rows/series of one figure from the
+paper's evaluation (§6.2); :mod:`~repro.experiments.benchmarks` defines the
+eight-application suite every figure runs over.
+"""
+
+from repro.experiments.benchmarks import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_suite,
+    build_application,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "benchmark_suite",
+    "build_application",
+]

@@ -1,0 +1,180 @@
+"""The Table 1 benchmark suite.
+
+Eight real-world, latency-critical serverless applications inspired by AWS
+Lambda case studies, each a three-function chain (pre-processing, ML/DNN
+inference, notification).  Exact AWS models are not public, so — following
+the paper — each uses a representative architecture with the same
+functionality.  Payload sizes reflect the serverless regime the paper
+assumes: requests are small (<= 20 MB, the AWS S3/Lambda cap [109]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.models.graph import Graph
+from repro.models.zoo import (
+    frame_stack_cnn,
+    gpt2_decoder,
+    image_preprocess,
+    inception_v3,
+    logistic_regression,
+    resnet50,
+    tabular_preprocess,
+    text_preprocess,
+    transformer_seq2seq,
+    vit,
+    yolo_detector,
+)
+from repro.serverless.application import Application
+from repro.serverless.function import FunctionRole, ServerlessFunction
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table 1 row: application, models, and payload sizes."""
+
+    name: str
+    description: str
+    preprocess_builder: Callable[[], Graph]
+    inference_builder: Callable[[], Graph]
+    input_bytes: int  # request payload landing in the object store
+    result_bytes: int  # inference output written back
+    notification_bytes: int = 1 * KB
+
+    def build(self) -> Application:
+        """Materialise the three-function chain application."""
+        preprocess_graph = self.preprocess_builder()
+        inference_graph = self.inference_builder()
+        functions = (
+            ServerlessFunction(
+                name=f"{self.name}/preprocess",
+                role=FunctionRole.PREPROCESS,
+                graph=preprocess_graph,
+                acceleratable=True,
+            ),
+            ServerlessFunction(
+                name=f"{self.name}/inference",
+                role=FunctionRole.INFERENCE,
+                graph=inference_graph,
+                acceleratable=True,
+            ),
+            ServerlessFunction(
+                name=f"{self.name}/notify",
+                role=FunctionRole.NOTIFICATION,
+                graph=None,
+                cpu_work_seconds=1e-3,
+                output_bytes=self.notification_bytes,
+            ),
+        )
+        tensor_bytes = inference_graph.input.size_bytes
+        return Application.chain(
+            name=self.name,
+            functions=functions,
+            input_bytes=self.input_bytes,
+            edge_bytes=(tensor_bytes, self.result_bytes, self.notification_bytes),
+        )
+
+
+BENCHMARKS: List[BenchmarkSpec] = [
+    BenchmarkSpec(
+        name="Credit Risk Assessment",
+        description="Binary logistic regression over loan-application batches "
+        "(IBM SPSS-style risk scoring [74]).",
+        preprocess_builder=lambda: tabular_preprocess(rows=4096, features=64),
+        inference_builder=lambda: logistic_regression(rows=4096, features=64),
+        input_bytes=int(1.5 * MB),
+        result_bytes=16 * KB,
+    ),
+    BenchmarkSpec(
+        name="Asset Damage Detection",
+        description="Defect spotting on industrial imagery "
+        "(AWS Lookout for Vision [75]); ResNet-50 classifier.",
+        preprocess_builder=lambda: image_preprocess(224, raw_size=1024),
+        inference_builder=lambda: resnet50(224),
+        input_bytes=8 * MB,
+        result_bytes=4 * KB,
+    ),
+    BenchmarkSpec(
+        name="PPE Detection",
+        description="Personal-protective-equipment detection on site imagery "
+        "(Amazon Rekognition [76]); Darknet-style detector on "
+        "high-resolution uploads — the most data-intensive workload.",
+        preprocess_builder=lambda: image_preprocess(320, raw_size=1280),
+        inference_builder=lambda: yolo_detector(320),
+        input_bytes=16 * MB,
+        result_bytes=16 * KB,
+    ),
+    BenchmarkSpec(
+        name="Conversational Chatbot",
+        description="Serverless bot framework [79]; GPT-2-class decoder over "
+        "the conversation context.",
+        preprocess_builder=lambda: text_preprocess(tokens=64, raw_bytes=8192),
+        inference_builder=lambda: gpt2_decoder(
+            seq=64, dim=768, layers=12, heads=12
+        ),
+        input_bytes=512 * KB,
+        result_bytes=4 * KB,
+    ),
+    BenchmarkSpec(
+        name="Document Translation",
+        description="AWS Translate-style document translation [80]; "
+        "transformer seq2seq.",
+        preprocess_builder=lambda: text_preprocess(tokens=128, raw_bytes=16384),
+        inference_builder=lambda: transformer_seq2seq(
+            src_seq=128,
+            tgt_seq=128,
+            dim=512,
+            encoder_layers=4,
+            decoder_layers=4,
+            heads=8,
+        ),
+        input_bytes=1 * MB,
+        result_bytes=64 * KB,
+    ),
+    BenchmarkSpec(
+        name="Clinical Analysis",
+        description="Acute myeloid/lymphoblastic leukemia classification from "
+        "microscopy [77]; Inception-v3.",
+        preprocess_builder=lambda: image_preprocess(299, raw_size=512),
+        inference_builder=lambda: inception_v3(299),
+        input_bytes=2 * MB,
+        result_bytes=4 * KB,
+    ),
+    BenchmarkSpec(
+        name="Content Moderation",
+        description="Unsafe-content scanning over sampled video frames "
+        "(Rekognition moderation [78]); frame-stack CNN over the "
+        "largest request payloads in the suite.",
+        preprocess_builder=lambda: image_preprocess(
+            224, raw_size=512, channels=12
+        ),
+        inference_builder=lambda: frame_stack_cnn(frames=4, image_size=224),
+        input_bytes=16 * MB,
+        result_bytes=8 * KB,
+    ),
+    BenchmarkSpec(
+        name="Remote Sensing",
+        description="Wildfire-risk scene classification from drone imagery "
+        "(SDG&E motivating use case [81, 83]); ViT-Base.",
+        preprocess_builder=lambda: image_preprocess(224, raw_size=1024),
+        inference_builder=lambda: vit(224, dim=384, layers=12, heads=6),
+        input_bytes=6 * MB,
+        result_bytes=4 * KB,
+    ),
+]
+
+
+def benchmark_suite() -> Dict[str, Application]:
+    """Build all eight applications, keyed by name."""
+    return {spec.name: spec.build() for spec in BENCHMARKS}
+
+
+def build_application(name: str) -> Application:
+    """Build a single benchmark application by its Table 1 name."""
+    for spec in BENCHMARKS:
+        if spec.name == name:
+            return spec.build()
+    raise KeyError(f"unknown benchmark {name!r}")

@@ -1,0 +1,67 @@
+"""Paper-reported headline numbers used as reproduction targets.
+
+These are the figures the evaluation section states in prose; EXPERIMENTS.md
+records measured-vs-paper for each.  Tests assert *shape* (orderings,
+crossovers, rough magnitudes), not exact equality — our substrate is a
+simulator, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+# Fig. 9 / abstract: end-to-end speedups (geometric means over the suite).
+PAPER_SPEEDUP_DSCS_VS_CPU = 3.6
+PAPER_SPEEDUP_DSCS_VS_GPU = 2.7
+PAPER_SPEEDUP_DSCS_VS_NS_ARM = 3.7
+PAPER_SPEEDUP_DSCS_VS_NS_FPGA = 1.7
+PAPER_SPEEDUP_NS_MOBILE_GPU = 1.35
+PAPER_SPEEDUP_NS_FPGA = 2.2
+
+# Fig. 4: communication dominates the baseline.
+PAPER_MIN_AVG_COMMUNICATION_SHARE = 0.55
+PAPER_COMPUTE_ONLY_SPEEDUP_CAP = 1.52
+PAPER_HIGH_COMM_BENCHMARKS = (
+    "Credit Risk Assessment",
+    "Asset Damage Detection",
+    "Content Moderation",
+)
+PAPER_HIGH_COMM_SHARE = 0.70
+
+# Fig. 3 / §2.2: storage tail latency.
+PAPER_TAIL_P99_OVER_MEDIAN = 2.1
+
+# Fig. 11: system energy reduction.
+PAPER_ENERGY_REDUCTION_VS_CPU = 3.5
+PAPER_ENERGY_REDUCTION_VS_NS_FPGA = 1.9
+PAPER_ENERGY_MAX_BENCHMARK = "PPE Detection"
+PAPER_ENERGY_MIN_BENCHMARK = "Credit Risk Assessment"
+
+# Fig. 12: cost efficiency.
+PAPER_COST_EFFICIENCY_DSCS = 3.4
+PAPER_COST_EFFICIENCY_NS_FPGA = 1.6
+
+# Fig. 14: batch-size sensitivity.
+PAPER_BATCH1_SPEEDUP = 3.6
+PAPER_BATCH64_SPEEDUP = 15.8
+
+# Fig. 15: tail-latency sensitivity.
+PAPER_TAIL_SPEEDUP_P99 = 5.0
+PAPER_TAIL_SPEEDUP_P50 = 3.1
+
+# Fig. 16: accelerated-function-count sensitivity.
+PAPER_EXTRA_FUNCTIONS_SPEEDUP = 8.1  # at +3 functions
+
+# Fig. 17: cold starts.
+PAPER_COLD_SPEEDUP = 2.6
+
+# §4.2: design space.
+PAPER_MIN_DESIGN_POINTS = 650
+PAPER_OPTIMAL_PE_DIM = 128
+PAPER_OPTIMAL_BUFFER_MB = 4
+PAPER_OPTIMAL_MEMORY = "DDR5"
+PAPER_STORAGE_POWER_BUDGET_W = 25.0
+
+# Evaluation methodology constants.
+PAPER_REQUESTS_PER_MEASUREMENT = 10_000
+PAPER_REPORTED_PERCENTILE = 95
+PAPER_MAX_INSTANCES = 200
+PAPER_SCHEDULER_QUEUE_DEPTH = 10_000

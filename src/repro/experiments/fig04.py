@@ -1,0 +1,76 @@
+"""Fig. 4: baseline runtime breakdown and the Amdahl acceleration cap.
+
+Per benchmark: the fraction of end-to-end time spent in compute,
+communication (network + I/O), and the serverless system stack on the
+Baseline (CPU) with remote storage.  The paper's headline: communication
+averages >55%, three benchmarks exceed 70%, and accelerating compute alone
+caps speedup at ~1.52x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.breakdown import Component
+from repro.core.fabric import StorageFabric
+from repro.core.model import ServerlessExecutionModel
+from repro.experiments.benchmarks import benchmark_suite
+from repro.platforms.registry import baseline_cpu
+
+
+@dataclass(frozen=True)
+class BreakdownShares:
+    """Share of end-to-end latency per high-level component."""
+
+    benchmark: str
+    total_seconds: float
+    compute: float
+    communication: float
+    system_stack: float
+
+    @property
+    def amdahl_compute_cap(self) -> float:
+        """Max speedup from accelerating compute alone (Amdahl's law)."""
+        return 1.0 / (1.0 - self.compute)
+
+
+def run(seed: int = 5, averages_of: int = 32) -> Dict[str, BreakdownShares]:
+    """Regenerate Fig. 4 (averaging the sampled remote-path tails)."""
+    model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=StorageFabric())
+    rng = np.random.default_rng(seed)
+    results: Dict[str, BreakdownShares] = {}
+    for name, app in benchmark_suite().items():
+        totals = np.zeros(3)
+        grand = 0.0
+        for _ in range(averages_of):
+            breakdown = model.invoke(app, rng).latency
+            totals += np.array(
+                [
+                    breakdown.compute,
+                    breakdown.communication,
+                    breakdown.get(Component.SYSTEM_STACK),
+                ]
+            )
+            grand += breakdown.total
+        compute, communication, stack = totals / grand
+        results[name] = BreakdownShares(
+            benchmark=name,
+            total_seconds=grand / averages_of,
+            compute=float(compute),
+            communication=float(communication),
+            system_stack=float(stack),
+        )
+    return results
+
+
+def average_communication_share(results: Dict[str, BreakdownShares]) -> float:
+    return float(np.mean([r.communication for r in results.values()]))
+
+
+def average_compute_cap(results: Dict[str, BreakdownShares]) -> float:
+    """Suite-average Amdahl cap (paper: 1.52x)."""
+    mean_compute = float(np.mean([r.compute for r in results.values()]))
+    return 1.0 / (1.0 - mean_compute)

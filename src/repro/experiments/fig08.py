@@ -1,0 +1,28 @@
+"""Fig. 8: area-performance Pareto frontier of the DSA design space (45 nm).
+
+Same sweep as Fig. 7 with chip area (the paper's proxy for ASIC
+fabrication cost) as the cost axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.accelerator.config import DSAConfig
+from repro.dse.explorer import DSEExplorer
+from repro.dse.space import design_space
+from repro.experiments.fig07 import ParetoStudy
+
+
+def run(
+    square_only: bool = True,
+    configs: Optional[Sequence[DSAConfig]] = None,
+    explorer: Optional[DSEExplorer] = None,
+) -> ParetoStudy:
+    """Regenerate the area-performance study."""
+    explorer = explorer or DSEExplorer()
+    candidates = list(configs) if configs else design_space(square_only=square_only)
+    results = explorer.sweep(candidates)
+    frontier = explorer.area_pareto(results)
+    best = explorer.best_feasible(results)
+    return ParetoStudy(results=results, frontier=frontier, best_feasible=best)

@@ -1,0 +1,54 @@
+"""Fig. 9: normalized end-to-end speedup across all platforms.
+
+p95 latency over sampled requests per (platform, benchmark), normalized to
+the Baseline (CPU).  Paper headlines: DSCS-Serverless 3.6x vs CPU, 2.7x vs
+GPU, 3.7x vs NS-ARM, 1.7x vs NS-FPGA; GPU ~1.3x; FPGA and NS-ARM slightly
+below baseline; NS-Mobile-GPU 1.35x; NS-FPGA 2.2x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.common import (
+    FAST_SAMPLE_COUNT,
+    SuiteContext,
+    build_context,
+    geomean_speedup,
+    p95_latency_table,
+    speedups_vs_baseline,
+)
+
+
+@dataclass
+class SpeedupStudy:
+    """Per-platform, per-benchmark normalized speedups."""
+
+    latency_seconds: Dict[str, Dict[str, float]]
+    speedups: Dict[str, Dict[str, float]]
+
+    def geomean(self, platform: str) -> float:
+        return geomean_speedup(self.speedups[platform])
+
+    def relative(self, platform_a: str, platform_b: str) -> float:
+        """Geomean speedup of ``platform_a`` over ``platform_b``."""
+        ratios = {
+            app: self.latency_seconds[platform_b][app]
+            / self.latency_seconds[platform_a][app]
+            for app in self.latency_seconds[platform_a]
+        }
+        return geomean_speedup(ratios)
+
+
+def run(
+    count: int = FAST_SAMPLE_COUNT,
+    seed: int = 7,
+    context: SuiteContext = None,
+) -> SpeedupStudy:
+    """Regenerate Fig. 9."""
+    context = context or build_context()
+    latency = p95_latency_table(context, count=count, seed=seed)
+    return SpeedupStudy(
+        latency_seconds=latency, speedups=speedups_vs_baseline(latency)
+    )

@@ -1,0 +1,62 @@
+"""Fig. 10: runtime breakdown for every platform and benchmark.
+
+Shows where time goes on each system: traditional accelerators shrink
+compute but stay communication-bound; near-storage platforms remove the
+network and shift the bottleneck back to compute; DSCS accelerates that
+too, leaving the system stack and the CPU-resident notification function
+as the residue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.breakdown import Component
+from repro.experiments.common import SuiteContext, build_context
+
+
+@dataclass(frozen=True)
+class PlatformBreakdown:
+    """Average per-component seconds for one (platform, benchmark) pair."""
+
+    platform: str
+    benchmark: str
+    seconds_by_component: Dict[str, float]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_component.values())
+
+    def fraction(self, component: Component) -> float:
+        total = self.total_seconds
+        if total == 0:
+            return 0.0
+        return self.seconds_by_component.get(component.value, 0.0) / total
+
+
+def run(
+    seed: int = 5, averages_of: int = 16, context: SuiteContext = None
+) -> Dict[str, Dict[str, PlatformBreakdown]]:
+    """Regenerate Fig. 10: ``{platform: {benchmark: breakdown}}``."""
+    context = context or build_context()
+    results: Dict[str, Dict[str, PlatformBreakdown]] = {}
+    for platform_name, model in context.models.items():
+        rng = np.random.default_rng(seed)
+        row: Dict[str, PlatformBreakdown] = {}
+        for app_name, app in context.applications.items():
+            sums: Dict[str, float] = {}
+            for _ in range(averages_of):
+                invocation = model.invoke(app, rng)
+                for component, value in invocation.latency.seconds.items():
+                    sums[component.value] = sums.get(component.value, 0.0) + value
+            averaged = {k: v / averages_of for k, v in sums.items()}
+            row[app_name] = PlatformBreakdown(
+                platform=platform_name,
+                benchmark=app_name,
+                seconds_by_component=averaged,
+            )
+        results[platform_name] = row
+    return results

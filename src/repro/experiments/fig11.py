@@ -1,0 +1,64 @@
+"""Fig. 11: normalized system-energy reduction.
+
+End-to-end system energy (compute + host CPU/system stack + PCIe +
+storage; network omitted, as in the paper) per invocation, normalized to
+the Baseline (CPU).  Paper headlines: DSCS 3.5x average reduction vs CPU
+and 1.9x vs NS-FPGA; PPE Detection gains the most (~8x), Credit Risk
+Assessment the least (~1x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import (
+    BASELINE_NAME,
+    SuiteContext,
+    build_context,
+    geomean_speedup,
+)
+
+
+@dataclass
+class EnergyStudy:
+    """Per-platform, per-benchmark energy and normalized reductions."""
+
+    energy_joules: Dict[str, Dict[str, float]]
+    reductions: Dict[str, Dict[str, float]]
+
+    def geomean(self, platform: str) -> float:
+        return geomean_speedup(self.reductions[platform])
+
+    def relative(self, platform_a: str, platform_b: str) -> float:
+        ratios = {
+            app: self.energy_joules[platform_b][app]
+            / self.energy_joules[platform_a][app]
+            for app in self.energy_joules[platform_a]
+        }
+        return geomean_speedup(ratios)
+
+
+def run(
+    seed: int = 5, averages_of: int = 16, context: SuiteContext = None
+) -> EnergyStudy:
+    """Regenerate Fig. 11."""
+    context = context or build_context()
+    energy: Dict[str, Dict[str, float]] = {}
+    for platform_name, model in context.models.items():
+        rng = np.random.default_rng(seed)
+        row = {}
+        for app_name, app in context.applications.items():
+            joules = [
+                model.invoke(app, rng).energy_joules for _ in range(averages_of)
+            ]
+            row[app_name] = float(np.mean(joules))
+        energy[platform_name] = row
+    base = energy[BASELINE_NAME]
+    reductions = {
+        platform: {app: base[app] / row[app] for app in row}
+        for platform, row in energy.items()
+    }
+    return EnergyStudy(energy_joules=energy, reductions=reductions)

@@ -1,0 +1,70 @@
+"""Fig. 12: normalized cost efficiency.
+
+Cost efficiency = throughput x T / (CAPEX + OPEX) per the E3 methodology,
+over a three-year ownership period at 30% utilisation.  Paper headlines:
+DSCS-Serverless 3.4x the baseline's cost efficiency; NS-FPGA second at
+1.6x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.cost import CostModel, system_cost_for
+from repro.experiments.common import (
+    BASELINE_NAME,
+    FAST_SAMPLE_COUNT,
+    SuiteContext,
+    build_context,
+    p95_latency_table,
+)
+
+
+@dataclass
+class CostStudy:
+    """Absolute and normalized cost efficiencies per platform."""
+
+    cost_efficiency: Dict[str, float]
+    normalized: Dict[str, float]
+    throughput_rps: Dict[str, float]
+    total_cost_usd: Dict[str, float]
+
+
+def run(
+    count: int = FAST_SAMPLE_COUNT,
+    seed: int = 7,
+    context: SuiteContext = None,
+    cost_model: CostModel = None,
+) -> CostStudy:
+    """Regenerate Fig. 12.
+
+    Throughput per platform is the average peak request rate across the
+    suite (reciprocal of mean p95 latency), matching the paper's
+    "average peak throughput" framing.
+    """
+    context = context or build_context()
+    cost_model = cost_model or CostModel()
+    latency = p95_latency_table(context, count=count, seed=seed)
+
+    efficiency: Dict[str, float] = {}
+    throughput: Dict[str, float] = {}
+    total_cost: Dict[str, float] = {}
+    for platform_name, model in context.models.items():
+        per_app_rps = [1.0 / lat for lat in latency[platform_name].values()]
+        rps = float(np.mean(per_app_rps))
+        system = system_cost_for(model.platform)
+        efficiency[platform_name] = cost_model.cost_efficiency(rps, system)
+        throughput[platform_name] = rps
+        total_cost[platform_name] = cost_model.total_cost_usd(system)
+
+    base = efficiency[BASELINE_NAME]
+    normalized = {name: value / base for name, value in efficiency.items()}
+    return CostStudy(
+        cost_efficiency=efficiency,
+        normalized=normalized,
+        throughput_rps=throughput,
+        total_cost_usd=total_cost,
+    )

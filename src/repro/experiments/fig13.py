@@ -1,0 +1,82 @@
+"""Fig. 13: at-scale behaviour under a bursty 20-minute trace.
+
+(a) the input trace; (b) scheduler queue depth over time for both systems;
+(c) Baseline (CPU) latency over time; (d) DSCS-Serverless latency over
+time.  The baseline saturates its 200 instances and accumulates queued
+requests, so its latency climbs; DSCS serves the same trace with headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.simulation import RackSimulation, SimulationSeries
+from repro.cluster.trace import RequestTrace, TraceGenerator
+from repro.experiments.common import (
+    BASELINE_NAME,
+    DSCS_NAME,
+    SuiteContext,
+    build_context,
+)
+
+
+@dataclass
+class AtScaleStudy:
+    """Trace plus both systems' measurement series."""
+
+    trace: RequestTrace
+    baseline: SimulationSeries
+    dscs: SimulationSeries
+
+    @property
+    def baseline_peak_queue(self) -> int:
+        return int(self.baseline.queue_depth.max()) if len(self.baseline.queue_depth) else 0
+
+    @property
+    def dscs_peak_queue(self) -> int:
+        return int(self.dscs.queue_depth.max()) if len(self.dscs.queue_depth) else 0
+
+    @property
+    def wall_clock_improvement(self) -> float:
+        """Baseline wall-clock time over DSCS wall-clock time."""
+        if self.dscs.wall_clock_seconds == 0:
+            return float("inf")
+        return self.baseline.wall_clock_seconds / self.dscs.wall_clock_seconds
+
+
+def run(
+    max_instances: int = 200,
+    seed: int = 13,
+    context: SuiteContext = None,
+    rate_scale: float = 1.0,
+) -> AtScaleStudy:
+    """Regenerate Fig. 13 end to end."""
+    context = context or build_context(
+        platform_names=[BASELINE_NAME, DSCS_NAME]
+    )
+    app_names = context.app_names
+    from repro.cluster.trace import DEFAULT_RATE_ENVELOPE
+
+    envelope = tuple(rate * rate_scale for rate in DEFAULT_RATE_ENVELOPE)
+    generator = TraceGenerator(app_names, rate_envelope=envelope)
+    trace = generator.generate(np.random.default_rng(seed))
+
+    baseline_sim = RackSimulation(
+        context.models[BASELINE_NAME],
+        context.applications,
+        max_instances=max_instances,
+        seed=seed,
+    )
+    dscs_sim = RackSimulation(
+        context.models[DSCS_NAME],
+        context.applications,
+        max_instances=max_instances,
+        seed=seed,
+    )
+    return AtScaleStudy(
+        trace=trace,
+        baseline=baseline_sim.run(trace),
+        dscs=dscs_sim.run(trace),
+    )

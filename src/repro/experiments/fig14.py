@@ -1,0 +1,55 @@
+"""Fig. 14: sensitivity to batch size.
+
+DSCS-Serverless latency normalized to the Baseline (CPU) at the *same*
+batch size, for batches 1-64 (AWS Lambda's payload cap bounds the sweep).
+Paper: speedup grows from 3.6x at batch 1 to 15.8x at batch 64 — batching
+amortises communication and lets the DSA reuse weights across the batch,
+which matters most for the language models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import (
+    BASELINE_NAME,
+    DSCS_NAME,
+    SuiteContext,
+    build_context,
+    geomean_speedup,
+    p95_latency_table,
+)
+
+DEFAULT_BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class BatchStudy:
+    """Per-batch, per-benchmark DSCS-vs-baseline speedups."""
+
+    speedups: Dict[int, Dict[str, float]]  # batch -> benchmark -> speedup
+
+    def geomean(self, batch: int) -> float:
+        return geomean_speedup(self.speedups[batch])
+
+    @property
+    def batches(self) -> List[int]:
+        return sorted(self.speedups)
+
+
+def run(
+    batches=DEFAULT_BATCHES,
+    count: int = 500,
+    seed: int = 7,
+    context: SuiteContext = None,
+) -> BatchStudy:
+    """Regenerate Fig. 14."""
+    context = context or build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
+    speedups: Dict[int, Dict[str, float]] = {}
+    for batch in batches:
+        latency = p95_latency_table(context, count=count, seed=seed, batch=batch)
+        base = latency[BASELINE_NAME]
+        dscs = latency[DSCS_NAME]
+        speedups[batch] = {app: base[app] / dscs[app] for app in base}
+    return BatchStudy(speedups=speedups)

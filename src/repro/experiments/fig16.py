@@ -1,0 +1,63 @@
+"""Fig. 16: sensitivity to the number of accelerated functions.
+
+Appends one to three duplicates of each application's inference stage
+(emulating deeper pipelines [129, 130]) and measures DSCS speedup over the
+baseline running the same extended pipeline.  Paper: improvements escalate
+from 3.6x to 8.1x at +3 functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.common import (
+    BASELINE_NAME,
+    DSCS_NAME,
+    SuiteContext,
+    build_context,
+    geomean_speedup,
+)
+import numpy as np
+
+
+@dataclass
+class FunctionCountStudy:
+    """Speedups keyed by number of extra accelerated functions."""
+
+    speedups: Dict[int, Dict[str, float]]
+
+    def geomean(self, extra: int) -> float:
+        return geomean_speedup(self.speedups[extra])
+
+
+def run(
+    extras=(0, 1, 2, 3),
+    count: int = 500,
+    seed: int = 7,
+    context: SuiteContext = None,
+) -> FunctionCountStudy:
+    """Regenerate Fig. 16."""
+    context = context or build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
+    speedups: Dict[int, Dict[str, float]] = {}
+    for extra in extras:
+        per_app: Dict[str, float] = {}
+        for app_name, app in context.applications.items():
+            extended = app.with_extra_inference_stages(extra)
+            rng_base = np.random.default_rng(seed)
+            rng_dscs = np.random.default_rng(seed)
+            base = np.percentile(
+                context.models[BASELINE_NAME].sample_latencies(
+                    extended, rng_base, count
+                ),
+                95,
+            )
+            dscs = np.percentile(
+                context.models[DSCS_NAME].sample_latencies(
+                    extended, rng_dscs, count
+                ),
+                95,
+            )
+            per_app[app_name] = float(base / dscs)
+        speedups[extra] = per_app
+    return FunctionCountStudy(speedups=speedups)

@@ -1,0 +1,65 @@
+"""Fig. 17: cold vs warm containers.
+
+Both systems pull container images (including model weights) on a cold
+start; DSCS-Serverless can reload a flash-parked image over the P2P link
+(§5.3).  Model-load time is large relative to warm execution, so the
+paper's average speedup drops from 3.6x (warm) to 2.6x (cold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.common import (
+    BASELINE_NAME,
+    DSCS_NAME,
+    SuiteContext,
+    build_context,
+    geomean_speedup,
+)
+
+
+@dataclass
+class ColdStartStudy:
+    """Warm and cold speedups per benchmark."""
+
+    warm_speedups: Dict[str, float]
+    cold_speedups: Dict[str, float]
+
+    @property
+    def warm_geomean(self) -> float:
+        return geomean_speedup(self.warm_speedups)
+
+    @property
+    def cold_geomean(self) -> float:
+        return geomean_speedup(self.cold_speedups)
+
+
+def run(
+    count: int = 1000, seed: int = 7, context: SuiteContext = None
+) -> ColdStartStudy:
+    """Regenerate Fig. 17."""
+    context = context or build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
+    warm: Dict[str, float] = {}
+    cold: Dict[str, float] = {}
+    for app_name, app in context.applications.items():
+        for is_cold, sink in ((False, warm), (True, cold)):
+            rng_base = np.random.default_rng(seed)
+            rng_dscs = np.random.default_rng(seed)
+            base = np.percentile(
+                context.models[BASELINE_NAME].sample_latencies(
+                    app, rng_base, count, cold=is_cold
+                ),
+                95,
+            )
+            dscs = np.percentile(
+                context.models[DSCS_NAME].sample_latencies(
+                    app, rng_dscs, count, cold=is_cold
+                ),
+                95,
+            )
+            sink[app_name] = float(base / dscs)
+    return ColdStartStudy(warm_speedups=warm, cold_speedups=cold)

@@ -1,0 +1,89 @@
+"""Result serialisation: experiment outputs to JSON/CSV/markdown.
+
+An open-source release needs machine-readable artifacts; these writers
+take the per-figure study objects and persist flat tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+Row = Mapping[str, Union[str, int, float, bool, None]]
+
+
+def _validate_rows(rows: Sequence[Row]) -> List[Dict[str, object]]:
+    if not rows:
+        raise ConfigurationError("cannot serialise an empty result table")
+    keys = list(rows[0])
+    normalised = []
+    for row in rows:
+        if list(row) != keys:
+            raise ConfigurationError(
+                f"inconsistent row keys: {list(row)} vs {keys}"
+            )
+        normalised.append(dict(row))
+    return normalised
+
+
+def write_json(rows: Sequence[Row], path: Union[str, Path]) -> Path:
+    """Write rows as a JSON array of objects."""
+    normalised = _validate_rows(rows)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        json.dump(normalised, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return target
+
+
+def write_csv(rows: Sequence[Row], path: Union[str, Path]) -> Path:
+    """Write rows as CSV with a header."""
+    normalised = _validate_rows(rows)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(normalised[0]))
+        writer.writeheader()
+        writer.writerows(normalised)
+    return target
+
+
+def read_json(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read back a JSON table written by :func:`write_json`."""
+    with Path(path).open() as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise ConfigurationError(f"{path}: expected a JSON array of rows")
+    return data
+
+
+def to_markdown(rows: Sequence[Row], title: str = "") -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    normalised = _validate_rows(rows)
+    keys = list(normalised[0])
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(keys) + " |")
+    lines.append("| " + " | ".join("---" for _ in keys) + " |")
+    for row in normalised:
+        lines.append("| " + " | ".join(str(row[k]) for k in keys) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def speedup_rows(speedups: Dict[str, Dict[str, float]]) -> List[Dict[str, object]]:
+    """Flatten a ``{platform: {benchmark: value}}`` table into rows."""
+    if not speedups:
+        raise ConfigurationError("empty speedup table")
+    rows: List[Dict[str, object]] = []
+    for platform, per_app in speedups.items():
+        row: Dict[str, object] = {"platform": platform}
+        row.update({app: round(value, 3) for app, value in per_app.items()})
+        rows.append(row)
+    return rows

@@ -1,0 +1,60 @@
+"""Table 1 (benchmark suite) and Table 2 (platform specs) as data."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.benchmarks import BENCHMARKS
+from repro.platforms.base import AnalyticalPlatform
+from repro.platforms.dsa import DSAPlatform
+from repro.platforms.registry import table2_platforms
+from repro.units import MB
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """One row per benchmark: functions, model, params, payload sizes."""
+    rows: List[Dict[str, object]] = []
+    for spec in BENCHMARKS:
+        app = spec.build()
+        inference = app.inference_function
+        stats = inference.graph.stats()
+        rows.append(
+            {
+                "benchmark": spec.name,
+                "description": spec.description,
+                "functions": [f.name.split("/")[-1] for f in app.functions],
+                "model": inference.graph.name,
+                "parameters_millions": round(stats.weight_bytes / 1e6, 1),
+                "gmacs": round(stats.total_macs / 1e9, 2),
+                "input_mb": round(app.input_bytes / MB, 2),
+                "output_kb": round(app.edge_bytes[-2] / 1024, 1),
+            }
+        )
+    return rows
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    """One row per evaluated platform with its key specs."""
+    rows: List[Dict[str, object]] = []
+    for platform in table2_platforms():
+        row: Dict[str, object] = {
+            "platform": platform.name,
+            "kind": platform.kind.value,
+            "active_power_w": platform.active_power_watts,
+            "capex_usd": platform.capex_usd,
+            "driver_overhead_ms": round(platform.driver_overhead_seconds * 1e3, 2),
+        }
+        if isinstance(platform, DSAPlatform):
+            config = platform.dsa_config
+            row["compute"] = (
+                f"DSA {config.pe_rows}x{config.pe_cols}, "
+                f"{config.buffer_bytes // MB} MB, {config.memory.name}, "
+                f"{config.frequency_hz / 1e9:.2f} GHz, {config.tech_node_nm} nm"
+            )
+        elif isinstance(platform, AnalyticalPlatform):
+            row["compute"] = (
+                f"{platform.effective_flops / 1e9:.0f} GFLOPS sustained, "
+                f"{platform.memory_bandwidth_bytes_per_s / 1e9:.0f} GB/s"
+            )
+        rows.append(row)
+    return rows

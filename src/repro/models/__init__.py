@@ -1,0 +1,57 @@
+"""Operator-graph IR for the ML/DNN workloads the paper accelerates.
+
+The paper's compiler consumes ONNX graphs; this package provides an
+equivalent in-memory IR: typed tensors (:mod:`~repro.models.tensor`),
+operator nodes with FLOP/byte accounting (:mod:`~repro.models.ops`), a DAG
+container with shape validation (:mod:`~repro.models.graph`), a fluent
+:class:`~repro.models.builder.GraphBuilder`, and a zoo
+(:mod:`repro.models.zoo`) covering all eight Table 1 workloads.
+"""
+
+from repro.models.builder import GraphBuilder
+from repro.models.graph import Graph, GraphStats
+from repro.models.ops import (
+    Activation,
+    ActivationKind,
+    Cast,
+    Conv2D,
+    Elementwise,
+    ElementwiseKind,
+    Embedding,
+    GeMM,
+    Layout,
+    LayoutKind,
+    Normalization,
+    NormalizationKind,
+    Op,
+    Pool,
+    PoolKind,
+    Reduce,
+    Resample,
+)
+from repro.models.tensor import DType, TensorSpec
+
+__all__ = [
+    "Activation",
+    "ActivationKind",
+    "Cast",
+    "Conv2D",
+    "DType",
+    "Elementwise",
+    "ElementwiseKind",
+    "Embedding",
+    "GeMM",
+    "Graph",
+    "GraphBuilder",
+    "GraphStats",
+    "Layout",
+    "LayoutKind",
+    "Normalization",
+    "NormalizationKind",
+    "Op",
+    "Pool",
+    "PoolKind",
+    "Reduce",
+    "Resample",
+    "TensorSpec",
+]

@@ -1,0 +1,251 @@
+"""Fluent builder for model graphs.
+
+Keeps zoo definitions short: each method appends an op whose input is the
+current tensor, then advances the current tensor to that op's output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.errors import ShapeError
+from repro.models.graph import Graph
+from repro.models.ops import (
+    Activation,
+    ActivationKind,
+    Cast,
+    Conv2D,
+    Elementwise,
+    ElementwiseKind,
+    Embedding,
+    GeMM,
+    Layout,
+    LayoutKind,
+    Normalization,
+    NormalizationKind,
+    Op,
+    Pool,
+    PoolKind,
+    Reduce,
+    Resample,
+)
+from repro.models.tensor import DType, TensorSpec
+
+
+class GraphBuilder:
+    """Accumulates a chain of ops from an initial input tensor."""
+
+    def __init__(self, model_name: str, input_spec: TensorSpec) -> None:
+        self.model_name = model_name
+        self._current = input_spec
+        self._ops: List[Op] = []
+        self._counter = itertools.count()
+
+    @property
+    def current(self) -> TensorSpec:
+        """The tensor that the next op will consume."""
+        return self._current
+
+    def _unique(self, stem: str) -> str:
+        return f"{stem}_{next(self._counter)}"
+
+    def _append(self, op: Op) -> "GraphBuilder":
+        self._ops.append(op)
+        self._current = op.infer_output()
+        return self
+
+    # --- MPU ops ------------------------------------------------------------
+    def gemm(self, n: int, name: Optional[str] = None) -> "GraphBuilder":
+        return self._append(GeMM(name or self._unique("gemm"), self._current, n=n))
+
+    def linear(self, n: int, name: Optional[str] = None) -> "GraphBuilder":
+        """Alias for :meth:`gemm` (fully connected layer)."""
+        return self.gemm(n, name)
+
+    def conv2d(
+        self,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        name: Optional[str] = None,
+    ) -> "GraphBuilder":
+        return self._append(
+            Conv2D(
+                name or self._unique("conv"),
+                self._current,
+                out_channels=out_channels,
+                kernel=kernel,
+                stride=stride,
+                padding=padding,
+                groups=groups,
+            )
+        )
+
+    # --- VPU ops --------------------------------------------------------------
+    def activation(
+        self, kind: ActivationKind, name: Optional[str] = None
+    ) -> "GraphBuilder":
+        return self._append(
+            Activation(name or self._unique(kind.value), self._current, kind=kind)
+        )
+
+    def relu(self) -> "GraphBuilder":
+        return self.activation(ActivationKind.RELU)
+
+    def gelu(self) -> "GraphBuilder":
+        return self.activation(ActivationKind.GELU)
+
+    def softmax(self) -> "GraphBuilder":
+        return self.activation(ActivationKind.SOFTMAX)
+
+    def sigmoid(self) -> "GraphBuilder":
+        return self.activation(ActivationKind.SIGMOID)
+
+    def tanh(self) -> "GraphBuilder":
+        return self.activation(ActivationKind.TANH)
+
+    def elementwise(
+        self, kind: ElementwiseKind = ElementwiseKind.ADD, name: Optional[str] = None
+    ) -> "GraphBuilder":
+        return self._append(
+            Elementwise(name or self._unique(f"ew_{kind.value}"), self._current, kind=kind)
+        )
+
+    def residual_add(self) -> "GraphBuilder":
+        """Skip-connection add (second operand shape == current shape)."""
+        return self.elementwise(ElementwiseKind.ADD)
+
+    def normalization(
+        self,
+        kind: NormalizationKind = NormalizationKind.LAYER_NORM,
+        name: Optional[str] = None,
+    ) -> "GraphBuilder":
+        return self._append(
+            Normalization(name or self._unique(kind.value), self._current, kind=kind)
+        )
+
+    def layer_norm(self) -> "GraphBuilder":
+        return self.normalization(NormalizationKind.LAYER_NORM)
+
+    def batch_norm(self) -> "GraphBuilder":
+        return self.normalization(NormalizationKind.BATCH_NORM)
+
+    def pool(
+        self, kind: PoolKind = PoolKind.MAX, kernel: int = 2, stride: int = 2
+    ) -> "GraphBuilder":
+        return self._append(
+            Pool(self._unique("pool"), self._current, kind=kind, kernel=kernel, stride=stride)
+        )
+
+    def reshape(self, shape: Tuple[int, ...]) -> "GraphBuilder":
+        return self._append(
+            Layout(
+                self._unique("reshape"),
+                self._current,
+                kind=LayoutKind.RESHAPE,
+                target_shape=shape,
+            )
+        )
+
+    def transpose(self, shape: Tuple[int, ...]) -> "GraphBuilder":
+        return self._append(
+            Layout(
+                self._unique("transpose"),
+                self._current,
+                kind=LayoutKind.TRANSPOSE,
+                target_shape=shape,
+            )
+        )
+
+    def resample(self, shape: Tuple[int, ...]) -> "GraphBuilder":
+        return self._append(
+            Resample(self._unique("resample"), self._current, target_shape=shape)
+        )
+
+    def cast(self, dtype: DType) -> "GraphBuilder":
+        return self._append(Cast(self._unique("cast"), self._current, target_dtype=dtype))
+
+    def reduce(self, keepdim: bool = False) -> "GraphBuilder":
+        return self._append(Reduce(self._unique("reduce"), self._current, keepdim=keepdim))
+
+    def embedding(self, vocab: int, dim: int) -> "GraphBuilder":
+        return self._append(
+            Embedding(self._unique("embed"), self._current, vocab=vocab, dim=dim)
+        )
+
+    # --- composite blocks -------------------------------------------------
+    def conv_bn_relu(
+        self,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+    ) -> "GraphBuilder":
+        """Conv + batch-norm + ReLU, the basic CNN building block."""
+        if padding is None:
+            padding = kernel // 2
+        self.conv2d(out_channels, kernel, stride=stride, padding=padding)
+        self.batch_norm()
+        return self.relu()
+
+    def bottleneck(self, mid_channels: int, out_channels: int, stride: int = 1) -> "GraphBuilder":
+        """ResNet bottleneck: 1x1 -> 3x3 -> 1x1 + residual add."""
+        self.conv_bn_relu(mid_channels, kernel=1, stride=1, padding=0)
+        self.conv_bn_relu(mid_channels, kernel=3, stride=stride, padding=1)
+        self.conv2d(out_channels, kernel=1, stride=1, padding=0)
+        self.batch_norm()
+        self.residual_add()
+        return self.relu()
+
+    def attention_block(self, seq: int, dim: int, heads: int) -> "GraphBuilder":
+        """Multi-head self-attention on a ``[seq, dim]`` tensor.
+
+        Head-parallel score/context GeMMs are folded into equivalent-work
+        single GeMMs, preserving total MACs and traffic.
+        """
+        if self._current.shape != (seq, dim):
+            raise ShapeError(
+                f"attention block expects input ({seq}, {dim}), "
+                f"got {self._current.shape}"
+            )
+        if dim % heads:
+            raise ShapeError(f"dim {dim} not divisible by heads {heads}")
+        head_dim = dim // heads
+        # Q/K/V projections: each [seq, dim] x [dim, dim].  The chain IR
+        # carries one tensor, so K and V are modeled as equivalent-work GeMMs
+        # in sequence (identical MACs and traffic to the branched graph).
+        self.gemm(dim, name=self._unique("q_proj"))
+        self.gemm(dim, name=self._unique("k_proj"))
+        self.gemm(dim, name=self._unique("v_proj"))
+        # Scores: per head [seq, head_dim] x [head_dim, seq]; folded into a
+        # single [heads*seq, head_dim] x [head_dim, seq] GeMM.
+        self.reshape((heads * seq, head_dim))
+        self.gemm(seq, name=self._unique("scores"))
+        self.softmax()
+        # Context: [heads*seq, seq] x [seq, head_dim]
+        self.gemm(head_dim, name=self._unique("context"))
+        self.reshape((seq, dim))
+        # Output projection
+        self.gemm(dim, name=self._unique("proj"))
+        self.residual_add()
+        return self.layer_norm()
+
+    def ffn_block(self, dim: int, hidden: int) -> "GraphBuilder":
+        """Transformer feed-forward block with GELU."""
+        self.gemm(hidden, name=self._unique("ffn_up"))
+        self.gelu()
+        self.gemm(dim, name=self._unique("ffn_down"))
+        self.residual_add()
+        return self.layer_norm()
+
+    def transformer_layer(self, seq: int, dim: int, heads: int, ffn_mult: int = 4) -> "GraphBuilder":
+        """One encoder layer: attention + FFN."""
+        self.attention_block(seq, dim, heads)
+        return self.ffn_block(dim, dim * ffn_mult)
+
+    def build(self) -> Graph:
+        """Finalize and validate the graph."""
+        return Graph(self.model_name, self._ops)

@@ -1,0 +1,435 @@
+"""Operator nodes for the model IR.
+
+Each operator knows its output shape, MAC/FLOP count, and weight footprint.
+The split mirrors the DSA's two engines (paper §4.1): GeMM-like operators
+(:class:`GeMM`, :class:`Conv2D`) execute on the Matrix Processing Unit;
+everything else (elementwise math, activations, normalisation, layout
+transforms, casts, pooling, reductions, embedding lookups) executes on the
+Vector Processing Unit.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ShapeError
+from repro.models.tensor import DType, TensorSpec
+
+
+class ActivationKind(enum.Enum):
+    RELU = "relu"
+    LEAKY_RELU = "leaky_relu"
+    GELU = "gelu"
+    TANH = "tanh"
+    SIGMOID = "sigmoid"
+    SOFTMAX = "softmax"
+
+    @property
+    def flops_per_element(self) -> int:
+        """Approximate scalar-op cost per element on a SIMD lane."""
+        return {
+            ActivationKind.RELU: 1,
+            ActivationKind.LEAKY_RELU: 2,
+            ActivationKind.GELU: 8,
+            ActivationKind.TANH: 6,
+            ActivationKind.SIGMOID: 4,
+            ActivationKind.SOFTMAX: 5,
+        }[self]
+
+
+class ElementwiseKind(enum.Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+
+
+class NormalizationKind(enum.Enum):
+    LAYER_NORM = "layer_norm"
+    BATCH_NORM = "batch_norm"
+
+    @property
+    def flops_per_element(self) -> int:
+        return {
+            NormalizationKind.LAYER_NORM: 8,
+            NormalizationKind.BATCH_NORM: 4,
+        }[self]
+
+
+class LayoutKind(enum.Enum):
+    RESHAPE = "reshape"
+    TRANSPOSE = "transpose"
+
+
+class PoolKind(enum.Enum):
+    MAX = "max"
+    AVERAGE = "average"
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base operator: named, with one primary input and one output spec.
+
+    Subclasses fill in :meth:`infer_output`, :meth:`macs`, and
+    :meth:`weight_bytes`.  ``flops`` defaults to ``2 * macs`` for MPU ops and
+    is overridden by VPU ops.
+    """
+
+    name: str
+    input: TensorSpec
+
+    def infer_output(self) -> TensorSpec:
+        raise NotImplementedError
+
+    @property
+    def output(self) -> TensorSpec:
+        return self.infer_output()
+
+    def macs(self) -> int:
+        """Multiply-accumulate count (MPU work); zero for VPU ops."""
+        return 0
+
+    def flops(self) -> int:
+        """Total floating/integer-op count."""
+        return 2 * self.macs()
+
+    def vector_elements(self) -> int:
+        """Element count processed by the VPU (zero for pure MPU ops)."""
+        return 0
+
+    def weight_bytes(self) -> int:
+        """Parameter footprint that must be resident to execute this op."""
+        return 0
+
+    @property
+    def is_matrix_op(self) -> bool:
+        """True if this op runs on the Matrix Processing Unit."""
+        return self.macs() > 0
+
+    def _require_rank(self, rank: int) -> None:
+        if self.input.rank != rank:
+            raise ShapeError(
+                f"op {self.name!r} expects rank-{rank} input, "
+                f"got shape {self.input.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class GeMM(Op):
+    """General matrix multiply: ``[batch, m, k] x [k, n] -> [batch, m, n]``.
+
+    Rank-2 inputs ``[m, k]`` are treated as batch 1.
+    """
+
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.input.rank not in (2, 3):
+            raise ShapeError(
+                f"GeMM {self.name!r} needs rank-2/3 input, got {self.input.shape}"
+            )
+        if self.n <= 0:
+            raise ShapeError(f"GeMM {self.name!r} has invalid n={self.n}")
+
+    @property
+    def batch(self) -> int:
+        return self.input.shape[0] if self.input.rank == 3 else 1
+
+    @property
+    def m(self) -> int:
+        return self.input.shape[-2]
+
+    @property
+    def k(self) -> int:
+        return self.input.shape[-1]
+
+    def infer_output(self) -> TensorSpec:
+        if self.input.rank == 3:
+            shape: Tuple[int, ...] = (self.batch, self.m, self.n)
+        else:
+            shape = (self.m, self.n)
+        return TensorSpec(f"{self.name}.out", shape, self.input.dtype)
+
+    def macs(self) -> int:
+        return self.batch * self.m * self.n * self.k
+
+    def weight_bytes(self) -> int:
+        return self.k * self.n * self.input.dtype.num_bytes
+
+
+@dataclass(frozen=True)
+class Conv2D(Op):
+    """2D convolution over NCHW input, lowered to implicit GeMM.
+
+    Output spatial dims follow the standard formula with symmetric padding.
+    """
+
+    out_channels: int = 1
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        self._require_rank(4)
+        if self.out_channels <= 0 or self.kernel <= 0 or self.stride <= 0:
+            raise ShapeError(f"Conv2D {self.name!r} has non-positive geometry")
+        if self.padding < 0:
+            raise ShapeError(f"Conv2D {self.name!r} has negative padding")
+        in_ch = self.input.shape[1]
+        if in_ch % self.groups or self.out_channels % self.groups:
+            raise ShapeError(
+                f"Conv2D {self.name!r}: channels ({in_ch}->{self.out_channels}) "
+                f"not divisible by groups={self.groups}"
+            )
+
+    def _out_hw(self) -> Tuple[int, int]:
+        _, _, h, w = self.input.shape
+        out_h = (h + 2 * self.padding - self.kernel) // self.stride + 1
+        out_w = (w + 2 * self.padding - self.kernel) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ShapeError(
+                f"Conv2D {self.name!r} produces empty output from {self.input.shape}"
+            )
+        return out_h, out_w
+
+    def infer_output(self) -> TensorSpec:
+        n = self.input.shape[0]
+        out_h, out_w = self._out_hw()
+        return TensorSpec(
+            f"{self.name}.out", (n, self.out_channels, out_h, out_w), self.input.dtype
+        )
+
+    def macs(self) -> int:
+        n, in_ch, _, _ = self.input.shape
+        out_h, out_w = self._out_hw()
+        k_per_group = (in_ch // self.groups) * self.kernel * self.kernel
+        return n * out_h * out_w * self.out_channels * k_per_group
+
+    def weight_bytes(self) -> int:
+        in_ch = self.input.shape[1]
+        per_filter = (in_ch // self.groups) * self.kernel * self.kernel
+        return self.out_channels * per_filter * self.input.dtype.num_bytes
+
+    def as_gemm_dims(self) -> Tuple[int, int, int]:
+        """Return the (M, N, K) of the implicit-GeMM lowering."""
+        out_h, out_w = self._out_hw()
+        n = self.input.shape[0]
+        in_ch = self.input.shape[1]
+        m = n * out_h * out_w
+        k = (in_ch // self.groups) * self.kernel * self.kernel
+        return m, self.out_channels, k
+
+
+@dataclass(frozen=True)
+class Elementwise(Op):
+    """Element-wise binary arithmetic (second operand same shape)."""
+
+    kind: ElementwiseKind = ElementwiseKind.ADD
+
+    def infer_output(self) -> TensorSpec:
+        return self.input.with_name(f"{self.name}.out")
+
+    def flops(self) -> int:
+        return self.input.elements
+
+    def vector_elements(self) -> int:
+        return self.input.elements
+
+
+@dataclass(frozen=True)
+class Activation(Op):
+    """Element-wise activation function."""
+
+    kind: ActivationKind = ActivationKind.RELU
+
+    def infer_output(self) -> TensorSpec:
+        return self.input.with_name(f"{self.name}.out")
+
+    def flops(self) -> int:
+        return self.input.elements * self.kind.flops_per_element
+
+    def vector_elements(self) -> int:
+        return self.input.elements
+
+
+@dataclass(frozen=True)
+class Normalization(Op):
+    """Layer/batch normalisation (reduction + scale/shift)."""
+
+    kind: NormalizationKind = NormalizationKind.LAYER_NORM
+
+    def infer_output(self) -> TensorSpec:
+        return self.input.with_name(f"{self.name}.out")
+
+    def flops(self) -> int:
+        return self.input.elements * self.kind.flops_per_element
+
+    def vector_elements(self) -> int:
+        return self.input.elements
+
+    def weight_bytes(self) -> int:
+        # Scale and shift vectors along the innermost dimension.
+        return 2 * self.input.shape[-1] * self.input.dtype.num_bytes
+
+
+@dataclass(frozen=True)
+class Pool(Op):
+    """2D pooling over NCHW input."""
+
+    kind: PoolKind = PoolKind.MAX
+    kernel: int = 2
+    stride: int = 2
+
+    def __post_init__(self) -> None:
+        self._require_rank(4)
+        if self.kernel <= 0 or self.stride <= 0:
+            raise ShapeError(f"Pool {self.name!r} has non-positive geometry")
+
+    def infer_output(self) -> TensorSpec:
+        n, c, h, w = self.input.shape
+        out_h = (h - self.kernel) // self.stride + 1
+        out_w = (w - self.kernel) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ShapeError(
+                f"Pool {self.name!r} produces empty output from {self.input.shape}"
+            )
+        return TensorSpec(f"{self.name}.out", (n, c, out_h, out_w), self.input.dtype)
+
+    def flops(self) -> int:
+        return self.infer_output().elements * self.kernel * self.kernel
+
+    def vector_elements(self) -> int:
+        return self.input.elements
+
+
+@dataclass(frozen=True)
+class Layout(Op):
+    """Data-layout transform: reshape or transpose."""
+
+    kind: LayoutKind = LayoutKind.RESHAPE
+    target_shape: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind is LayoutKind.RESHAPE:
+            if math.prod(self.target_shape) != self.input.elements:
+                raise ShapeError(
+                    f"Layout {self.name!r}: reshape {self.input.shape} -> "
+                    f"{self.target_shape} changes element count"
+                )
+        elif self.kind is LayoutKind.TRANSPOSE:
+            if sorted(self.target_shape) != sorted(self.input.shape):
+                raise ShapeError(
+                    f"Layout {self.name!r}: transpose target {self.target_shape} "
+                    f"is not a permutation of {self.input.shape}"
+                )
+
+    def infer_output(self) -> TensorSpec:
+        return TensorSpec(f"{self.name}.out", self.target_shape, self.input.dtype)
+
+    def flops(self) -> int:
+        # Pure data movement: one element move each.
+        return self.input.elements
+
+    def vector_elements(self) -> int:
+        return self.input.elements
+
+
+@dataclass(frozen=True)
+class Resample(Op):
+    """Spatial resampling (image resize / crop): element count may change.
+
+    Cost model: one read per source element plus one interpolation write per
+    destination element — all on the VPU.
+    """
+
+    target_shape: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.target_shape:
+            raise ShapeError(f"Resample {self.name!r} needs a target shape")
+        for dim in self.target_shape:
+            if dim <= 0:
+                raise ShapeError(
+                    f"Resample {self.name!r} has invalid target {self.target_shape}"
+                )
+
+    def infer_output(self) -> TensorSpec:
+        return TensorSpec(f"{self.name}.out", self.target_shape, self.input.dtype)
+
+    def flops(self) -> int:
+        return self.input.elements + self.infer_output().elements
+
+    def vector_elements(self) -> int:
+        return self.input.elements + self.infer_output().elements
+
+
+@dataclass(frozen=True)
+class Cast(Op):
+    """Datatype conversion (e.g. fp32 -> int8 quantisation)."""
+
+    target_dtype: DType = DType.INT8
+
+    def infer_output(self) -> TensorSpec:
+        out = self.input.with_name(f"{self.name}.out")
+        return out.with_dtype(self.target_dtype)
+
+    def flops(self) -> int:
+        return self.input.elements
+
+    def vector_elements(self) -> int:
+        return self.input.elements
+
+
+@dataclass(frozen=True)
+class Reduce(Op):
+    """Reduction along the innermost axis (mean/sum/argmax)."""
+
+    keepdim: bool = False
+
+    def infer_output(self) -> TensorSpec:
+        if self.input.rank == 1:
+            shape: Tuple[int, ...] = (1,)
+        elif self.keepdim:
+            shape = self.input.shape[:-1] + (1,)
+        else:
+            shape = self.input.shape[:-1]
+        return TensorSpec(f"{self.name}.out", shape, self.input.dtype)
+
+    def flops(self) -> int:
+        return self.input.elements
+
+    def vector_elements(self) -> int:
+        return self.input.elements
+
+
+@dataclass(frozen=True)
+class Embedding(Op):
+    """Token-embedding lookup: ``[batch, seq]`` ints -> ``[batch, seq, dim]``.
+
+    Memory-bound: no MACs, but the table rows must be streamed in.
+    """
+
+    vocab: int = 1
+    dim: int = 1
+
+    def __post_init__(self) -> None:
+        self._require_rank(2)
+        if self.vocab <= 0 or self.dim <= 0:
+            raise ShapeError(f"Embedding {self.name!r} has non-positive geometry")
+
+    def infer_output(self) -> TensorSpec:
+        batch, seq = self.input.shape
+        return TensorSpec(f"{self.name}.out", (batch, seq, self.dim), self.input.dtype)
+
+    def flops(self) -> int:
+        return self.infer_output().elements
+
+    def vector_elements(self) -> int:
+        return self.infer_output().elements
+
+    def weight_bytes(self) -> int:
+        return self.vocab * self.dim * self.input.dtype.num_bytes

@@ -1,0 +1,76 @@
+"""Tensor specifications: shapes and datatypes (no actual data).
+
+The simulator only needs shape/dtype to account for FLOPs, bytes moved, and
+buffer occupancy, so a tensor here is a named spec rather than an array.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ShapeError
+
+
+class DType(enum.Enum):
+    """Datatypes the DSA and its compiler understand."""
+
+    INT8 = ("int8", 1)
+    FP16 = ("fp16", 2)
+    FP32 = ("fp32", 4)
+
+    def __init__(self, label: str, num_bytes: int) -> None:
+        self.label = label
+        self.num_bytes = num_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named tensor with a static shape and datatype."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType = DType.INT8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShapeError("tensor must have a non-empty name")
+        if len(self.shape) == 0:
+            raise ShapeError(f"tensor {self.name!r} must have at least one dim")
+        for dim in self.shape:
+            if not isinstance(dim, int) or dim <= 0:
+                raise ShapeError(
+                    f"tensor {self.name!r} has invalid dim {dim!r} in {self.shape}"
+                )
+
+    @property
+    def elements(self) -> int:
+        """Total number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total footprint in bytes."""
+        return self.elements * self.dtype.num_bytes
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    def with_name(self, name: str) -> "TensorSpec":
+        """Return a copy renamed to ``name``."""
+        return TensorSpec(name, self.shape, self.dtype)
+
+    def with_shape(self, shape: Tuple[int, ...]) -> "TensorSpec":
+        """Return a copy reshaped to ``shape`` (element count may change)."""
+        return TensorSpec(self.name, shape, self.dtype)
+
+    def with_dtype(self, dtype: DType) -> "TensorSpec":
+        """Return a copy cast to ``dtype``."""
+        return TensorSpec(self.name, self.shape, dtype)

@@ -1,0 +1,42 @@
+"""Model zoo for the eight Table 1 serverless workloads.
+
+Exact AWS Lambda models are not public, so — exactly as the paper does —
+each application uses a representative state-of-the-art architecture with
+the same functionality (e.g. ResNet-50 for Rekognition-style detection,
+Inception-v3 for the clinical-analysis pipeline, a ViT for remote sensing,
+GPT-2-class decoder for the chatbot, a transformer seq2seq for translation,
+and logistic regression for credit-risk scoring).
+"""
+
+from repro.models.zoo.classical import logistic_regression, mlp
+from repro.models.zoo.extended import bert_encoder, dlrm, unet
+from repro.models.zoo.language import gpt2_decoder, transformer_seq2seq, vit
+from repro.models.zoo.preprocess import (
+    image_preprocess,
+    tabular_preprocess,
+    text_preprocess,
+)
+from repro.models.zoo.vision import (
+    frame_stack_cnn,
+    inception_v3,
+    resnet50,
+    yolo_detector,
+)
+
+__all__ = [
+    "bert_encoder",
+    "dlrm",
+    "frame_stack_cnn",
+    "gpt2_decoder",
+    "image_preprocess",
+    "inception_v3",
+    "logistic_regression",
+    "mlp",
+    "resnet50",
+    "tabular_preprocess",
+    "text_preprocess",
+    "transformer_seq2seq",
+    "unet",
+    "vit",
+    "yolo_detector",
+]

@@ -1,0 +1,41 @@
+"""Classical ML models: logistic regression and small MLPs."""
+
+from __future__ import annotations
+
+from repro.models.builder import GraphBuilder
+from repro.models.graph import Graph
+from repro.models.tensor import DType, TensorSpec
+
+
+def logistic_regression(
+    rows: int = 4096, features: int = 64, dtype: DType = DType.FP32
+) -> Graph:
+    """Binary logistic regression over a tabular batch.
+
+    Credit Risk Assessment scores a batch of loan applications; compute is
+    trivial relative to moving the tabular payload, which is exactly why the
+    paper finds the benchmark gains the least from acceleration.
+    """
+    builder = GraphBuilder(
+        "logistic_regression", TensorSpec("rows", (rows, features), dtype)
+    )
+    builder.gemm(1, name="score")
+    builder.sigmoid()
+    return builder.build()
+
+
+def mlp(
+    rows: int = 1024,
+    features: int = 128,
+    hidden: tuple[int, ...] = (256, 64),
+    classes: int = 8,
+    dtype: DType = DType.FP32,
+) -> Graph:
+    """Small multi-layer perceptron for tabular scoring pipelines."""
+    builder = GraphBuilder("mlp", TensorSpec("rows", (rows, features), dtype))
+    for width in hidden:
+        builder.linear(width)
+        builder.relu()
+    builder.linear(classes)
+    builder.softmax()
+    return builder.build()

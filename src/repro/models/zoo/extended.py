@@ -1,0 +1,130 @@
+"""Extended zoo: the remaining task families the DSA targets (§4).
+
+The paper sizes the architecture to cover "image classification, object
+detection, semantic segmentation, linear/logistic regression, neural
+machine translation, conversational AI, generative AI, data
+pre-processing".  The core benchmarks exercise most of these; this module
+adds the rest for library completeness and for the design ablations:
+
+- :func:`bert_encoder` — encoder-only language understanding.
+- :func:`unet` — semantic segmentation (encoder-decoder CNN).
+- :func:`dlrm` — embedding-heavy recommendation (the memory-bound extreme).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.models.builder import GraphBuilder
+from repro.models.graph import Graph
+from repro.models.ops import PoolKind
+from repro.models.tensor import DType, TensorSpec
+
+
+def bert_encoder(
+    seq: int = 128,
+    dim: int = 768,
+    layers: int = 12,
+    heads: int = 12,
+    vocab: int = 30522,
+    classes: int = 2,
+    dtype: DType = DType.INT8,
+) -> Graph:
+    """BERT-Base-class encoder with a classification head (~110M params)."""
+    builder = GraphBuilder("bert_encoder", TensorSpec("tokens", (1, seq), dtype))
+    builder.embedding(vocab, dim)
+    builder.reshape((seq, dim))
+    builder.layer_norm()
+    for _ in range(layers):
+        builder.transformer_layer(seq, dim, heads)
+    # Pooler over the [CLS] position, folded as a [seq, dim] x [dim, dim]
+    # projection followed by the task head.
+    builder.gemm(dim, name="pooler")
+    builder.tanh()
+    builder.reduce(keepdim=False)
+    builder.reshape((1, seq))
+    builder.gemm(classes, name="cls_head")
+    builder.softmax()
+    return builder.build()
+
+
+def unet(
+    image_size: int = 256,
+    base_channels: int = 32,
+    depth: int = 4,
+    classes: int = 2,
+    dtype: DType = DType.INT8,
+) -> Graph:
+    """U-Net-style encoder-decoder for semantic segmentation.
+
+    Skip connections are represented by their concatenation-equivalent
+    elementwise adds; upsampling by :meth:`resample` passes on the VPU.
+    """
+    if image_size % (2**depth):
+        raise ValueError(
+            f"image size {image_size} not divisible by 2^{depth}"
+        )
+    builder = GraphBuilder(
+        "unet", TensorSpec("image", (1, 3, image_size, image_size), dtype)
+    )
+    channels = base_channels
+    # Encoder: double conv + downsample per level.
+    for _ in range(depth):
+        builder.conv_bn_relu(channels, kernel=3)
+        builder.conv_bn_relu(channels, kernel=3)
+        builder.pool(PoolKind.MAX, kernel=2, stride=2)
+        channels *= 2
+    # Bottleneck.
+    builder.conv_bn_relu(channels, kernel=3)
+    builder.conv_bn_relu(channels, kernel=3)
+    # Decoder: upsample + double conv + skip add per level.
+    for _ in range(depth):
+        channels //= 2
+        _, c, h, w = builder.current.shape
+        builder.resample((1, c, h * 2, w * 2))
+        builder.conv_bn_relu(channels, kernel=3)
+        builder.residual_add()  # skip connection from the encoder
+        builder.conv_bn_relu(channels, kernel=3)
+    builder.conv2d(classes, kernel=1, padding=0)
+    builder.softmax()
+    return builder.build()
+
+
+def dlrm(
+    dense_features: int = 13,
+    sparse_features: int = 26,
+    embedding_rows: int = 100_000,
+    embedding_dim: int = 64,
+    bottom_mlp: Tuple[int, ...] = (512, 256, 64),
+    top_mlp: Tuple[int, ...] = (512, 256, 1),
+    dtype: DType = DType.FP32,
+) -> Graph:
+    """DLRM-style recommendation model: the embedding-bound extreme.
+
+    Compute is tiny next to the embedding-table gathers, making this the
+    stress case for the DSA's DMA path (and a natural near-data workload).
+    The per-request lookups are folded into one gather of
+    ``sparse_features`` rows.
+    """
+    builder = GraphBuilder(
+        "dlrm", TensorSpec("sparse_ids", (1, sparse_features), dtype)
+    )
+    builder.embedding(embedding_rows, embedding_dim)
+    builder.reshape((sparse_features, embedding_dim))
+    # Feature interaction: pairwise dot products folded as one GeMM.
+    builder.gemm(sparse_features, name="interaction")
+    builder.reshape((1, sparse_features * sparse_features))
+    # Bottom-MLP-equivalent work on the dense features joins here; the
+    # chain IR folds it into the top MLP input projection.
+    width = sparse_features * sparse_features
+    for index, hidden in enumerate(top_mlp):
+        builder.gemm(hidden, name=f"top_mlp_{index}")
+        if index + 1 < len(top_mlp):
+            builder.relu()
+    builder.sigmoid()
+    # Dense bottom MLP, modeled after the top stack (work-equivalent).
+    builder.reshape((1, top_mlp[-1]))
+    for index, hidden in enumerate(bottom_mlp):
+        builder.gemm(hidden, name=f"bottom_mlp_{index}")
+        builder.relu()
+    return builder.build()

@@ -1,0 +1,107 @@
+"""Transformer-family models: chatbot LLM, translation seq2seq, and ViT."""
+
+from __future__ import annotations
+
+from repro.models.builder import GraphBuilder
+from repro.models.graph import Graph
+from repro.models.tensor import DType, TensorSpec
+
+
+def gpt2_decoder(
+    seq: int = 128,
+    dim: int = 1024,
+    layers: int = 24,
+    heads: int = 16,
+    vocab: int = 50257,
+    dtype: DType = DType.INT8,
+) -> Graph:
+    """GPT-2-medium-class decoder (~355M params) for the chatbot benchmark.
+
+    Models a single generation step over a ``seq``-token context — the
+    latency-critical unit of work in conversational serving.
+    """
+    builder = GraphBuilder("gpt2_decoder", TensorSpec("tokens", (1, seq), dtype))
+    builder.embedding(vocab, dim)
+    builder.reshape((seq, dim))
+    builder.layer_norm()
+    for _ in range(layers):
+        builder.transformer_layer(seq, dim, heads)
+    builder.layer_norm()
+    # LM head over the final position, folded as [seq, dim] x [dim, vocab].
+    builder.gemm(vocab, name="lm_head")
+    builder.softmax()
+    return builder.build()
+
+
+def transformer_seq2seq(
+    src_seq: int = 256,
+    tgt_seq: int = 256,
+    dim: int = 1024,
+    encoder_layers: int = 6,
+    decoder_layers: int = 6,
+    heads: int = 16,
+    vocab: int = 32000,
+    dtype: DType = DType.INT8,
+) -> Graph:
+    """Transformer-big seq2seq (~210M params) for Document Translation.
+
+    Encoder over the source document followed by a decoder pass over the
+    target sequence; cross-attention is folded into equivalent-work
+    self-attention layers at the decoder length.
+    """
+    builder = GraphBuilder(
+        "transformer_seq2seq", TensorSpec("src_tokens", (1, src_seq), dtype)
+    )
+    builder.embedding(vocab, dim)
+    builder.reshape((src_seq, dim))
+    builder.layer_norm()
+    for _ in range(encoder_layers):
+        builder.transformer_layer(src_seq, dim, heads)
+    # Hand off encoder states to the decoder; the decoder works at tgt_seq.
+    builder.reshape((src_seq * dim,))
+    builder.reshape((tgt_seq, (src_seq * dim) // tgt_seq))
+    builder.gemm(dim, name="dec_input_proj")
+    for layer in range(decoder_layers):
+        builder.transformer_layer(tgt_seq, dim, heads)
+        # Cross-attention equivalent work: one extra attention block.
+        builder.attention_block(tgt_seq, dim, heads)
+    builder.gemm(vocab, name="generator")
+    builder.softmax()
+    return builder.build()
+
+
+def vit(
+    image_size: int = 224,
+    patch: int = 16,
+    dim: int = 768,
+    layers: int = 12,
+    heads: int = 12,
+    classes: int = 45,
+    dtype: DType = DType.INT8,
+) -> Graph:
+    """ViT-Base/16 (~86M params, ~17.6 GFLOPs) for Remote Sensing.
+
+    The paper's remote-sensing citation uses vision transformers for scene
+    classification over drone imagery; 45 classes matches the standard
+    NWPU-RESISC45 remote-sensing label set.
+    """
+    if image_size % patch:
+        raise ValueError(f"image size {image_size} not divisible by patch {patch}")
+    tokens = (image_size // patch) ** 2
+    patch_dim = 3 * patch * patch
+    builder = GraphBuilder(
+        "vit", TensorSpec("image", (1, 3, image_size, image_size), dtype)
+    )
+    # Patchify: NCHW -> [tokens, patch_dim], then linear patch embedding.
+    builder.reshape((tokens, patch_dim))
+    builder.gemm(dim, name="patch_embed")
+    builder.layer_norm()
+    for _ in range(layers):
+        builder.transformer_layer(tokens, dim, heads)
+    builder.layer_norm()
+    # Classification head on the pooled representation.
+    builder.reduce(keepdim=False)  # [tokens, dim] -> [tokens]
+    builder.reshape((1, tokens))
+    builder.gemm(classes, name="cls_head")
+    builder.softmax()
+    return builder.build()

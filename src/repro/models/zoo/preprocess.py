@@ -1,0 +1,63 @@
+"""Data pre-processing graphs (each application's Function 1).
+
+The paper runs pre-processing on the VPU (§4.1): tokenisation,
+normalisation, scaling, and datatype casting.  These graphs contain only
+vector ops, so the compiler maps them entirely onto the VPU.
+"""
+
+from __future__ import annotations
+
+from repro.models.builder import GraphBuilder
+from repro.models.graph import Graph
+from repro.models.ops import ElementwiseKind
+from repro.models.tensor import DType, TensorSpec
+
+
+def image_preprocess(
+    image_size: int, raw_size: int = 1024, channels: int = 3
+) -> Graph:
+    """Decode-scale-normalise-quantise for an image pipeline.
+
+    ``raw_size`` is the decoded source resolution; the graph scales it to
+    ``image_size`` and converts fp32 pixels to the DSA's int8 format.
+    """
+    builder = GraphBuilder(
+        f"image_preprocess_{image_size}",
+        TensorSpec("raw_image", (1, channels, raw_size, raw_size), DType.FP32),
+    )
+    builder.elementwise(ElementwiseKind.MUL)  # bilinear weighting
+    builder.resample((1, channels, image_size, image_size))
+    builder.elementwise(ElementwiseKind.SUB)  # mean subtraction
+    builder.elementwise(ElementwiseKind.DIV)  # stddev scaling
+    builder.cast(DType.INT8)
+    return builder.build()
+
+
+def text_preprocess(tokens: int, raw_bytes: int = 4096) -> Graph:
+    """Tokenisation-and-packing for a text pipeline.
+
+    Byte-level cleanup runs as vector ops over the raw buffer, followed by a
+    lookup-style pass producing the packed token tensor.
+    """
+    builder = GraphBuilder(
+        f"text_preprocess_{tokens}",
+        TensorSpec("raw_text", (1, raw_bytes), DType.FP32),
+    )
+    builder.elementwise(ElementwiseKind.MUL)  # case folding / byte mapping
+    builder.reshape((tokens, raw_bytes // tokens))
+    builder.reduce(keepdim=False)  # merge bytes into token ids
+    builder.reshape((1, tokens))
+    builder.cast(DType.INT8)
+    return builder.build()
+
+
+def tabular_preprocess(rows: int, features: int) -> Graph:
+    """Column-wise normalisation and missing-value imputation."""
+    builder = GraphBuilder(
+        f"tabular_preprocess_{rows}x{features}",
+        TensorSpec("raw_rows", (rows, features), DType.FP32),
+    )
+    builder.elementwise(ElementwiseKind.SUB)  # centre columns
+    builder.elementwise(ElementwiseKind.DIV)  # scale columns
+    builder.elementwise(ElementwiseKind.ADD)  # imputation fill
+    return builder.build()

@@ -1,0 +1,157 @@
+"""Convolutional vision models used by the image-centric benchmarks."""
+
+from __future__ import annotations
+
+from repro.models.builder import GraphBuilder
+from repro.models.graph import Graph
+from repro.models.ops import PoolKind
+from repro.models.tensor import DType, TensorSpec
+
+
+def resnet50(image_size: int = 224, dtype: DType = DType.INT8) -> Graph:
+    """ResNet-50 (He et al.): ~4.1 GFLOPs at 224x224, ~25.6M params.
+
+    Used by Asset Damage Detection (Lookout-for-Vision-style defect
+    spotting) and as the Rekognition-equivalent classifier.
+    """
+    builder = GraphBuilder(
+        "resnet50", TensorSpec("image", (1, 3, image_size, image_size), dtype)
+    )
+    builder.conv_bn_relu(64, kernel=7, stride=2, padding=3)
+    builder.pool(PoolKind.MAX, kernel=3, stride=2)
+    stages = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ]
+    for mid, out, blocks, first_stride in stages:
+        # First block of each stage widens channels (projection shortcut).
+        builder.bottleneck(mid, out, stride=first_stride)
+        for _ in range(blocks - 1):
+            builder.bottleneck(mid, out, stride=1)
+    spatial = builder.current.shape[-1]
+    builder.pool(PoolKind.AVERAGE, kernel=spatial, stride=spatial)
+    builder.reshape((1, 2048))
+    builder.linear(1000)
+    builder.softmax()
+    return builder.build()
+
+
+def inception_v3(image_size: int = 299, dtype: DType = DType.INT8) -> Graph:
+    """Inception-v3 equivalent (~5.7 GFLOPs at 299x299, ~23.8M params).
+
+    The clinical-analysis benchmark (acute myeloid/lymphoblastic leukemia
+    classification) uses Inception-v3 per the paper's reference.  Inception
+    branches are folded into equivalent-work sequential convs.
+    """
+    builder = GraphBuilder(
+        "inception_v3", TensorSpec("image", (1, 3, image_size, image_size), dtype)
+    )
+    builder.conv_bn_relu(32, kernel=3, stride=2, padding=0)
+    builder.conv_bn_relu(32, kernel=3, stride=1, padding=0)
+    builder.conv_bn_relu(64, kernel=3, stride=1, padding=1)
+    builder.pool(PoolKind.MAX, kernel=3, stride=2)
+    builder.conv_bn_relu(80, kernel=1, stride=1, padding=0)
+    builder.conv_bn_relu(192, kernel=3, stride=1, padding=0)
+    builder.pool(PoolKind.MAX, kernel=3, stride=2)
+    # Inception-A x3 (35x35), folded branches.
+    for _ in range(3):
+        builder.conv_bn_relu(64, kernel=1)
+        builder.conv_bn_relu(96, kernel=3)
+        builder.conv_bn_relu(96, kernel=3)
+        builder.conv_bn_relu(288, kernel=1)
+    # Reduction-A.
+    builder.conv_bn_relu(384, kernel=3, stride=2, padding=0)
+    # Inception-B x4 (17x17), 7x1/1x7 factorised convs folded to 3x3-equivalents.
+    for _ in range(4):
+        builder.conv_bn_relu(128, kernel=1)
+        builder.conv_bn_relu(192, kernel=3)
+        builder.conv_bn_relu(192, kernel=3)
+        builder.conv_bn_relu(768, kernel=1)
+    # Reduction-B.
+    builder.conv_bn_relu(640, kernel=3, stride=2, padding=0)
+    # Inception-C x2 (8x8).
+    for _ in range(2):
+        builder.conv_bn_relu(448, kernel=1)
+        builder.conv_bn_relu(384, kernel=3)
+        builder.conv_bn_relu(1280, kernel=1)
+    spatial = builder.current.shape[-1]
+    builder.pool(PoolKind.AVERAGE, kernel=spatial, stride=spatial)
+    channels = builder.current.shape[1]
+    builder.reshape((1, channels))
+    builder.linear(1000)
+    builder.softmax()
+    return builder.build()
+
+
+def yolo_detector(image_size: int = 416, dtype: DType = DType.INT8) -> Graph:
+    """Darknet-53-style one-shot detector (~65 GFLOPs at 416x416).
+
+    PPE Detection runs object detection over high-resolution site imagery;
+    this is the heaviest vision workload in the suite.
+    """
+    builder = GraphBuilder(
+        "yolo_detector", TensorSpec("image", (1, 3, image_size, image_size), dtype)
+    )
+    builder.conv_bn_relu(32, kernel=3)
+    builder.conv_bn_relu(64, kernel=3, stride=2)
+
+    def residual_block(mid: int, out: int) -> None:
+        builder.conv_bn_relu(mid, kernel=1, padding=0)
+        builder.conv_bn_relu(out, kernel=3)
+        builder.residual_add()
+
+    residual_block(32, 64)
+    builder.conv_bn_relu(128, kernel=3, stride=2)
+    for _ in range(2):
+        residual_block(64, 128)
+    builder.conv_bn_relu(256, kernel=3, stride=2)
+    for _ in range(8):
+        residual_block(128, 256)
+    builder.conv_bn_relu(512, kernel=3, stride=2)
+    for _ in range(8):
+        residual_block(256, 512)
+    builder.conv_bn_relu(1024, kernel=3, stride=2)
+    for _ in range(4):
+        residual_block(512, 1024)
+    # Detection head (folded multi-scale heads).
+    builder.conv_bn_relu(512, kernel=1, padding=0)
+    builder.conv_bn_relu(1024, kernel=3)
+    builder.conv2d(255, kernel=1, padding=0)
+    builder.sigmoid()
+    return builder.build()
+
+
+def frame_stack_cnn(
+    frames: int = 4, image_size: int = 224, dtype: DType = DType.INT8
+) -> Graph:
+    """ResNet-18-class backbone applied to a stack of video frames.
+
+    Content Moderation scans several sampled frames per request; the frame
+    count multiplies the batch dimension, making the workload communication-
+    heavy (large input payload) with moderate compute.
+    """
+    builder = GraphBuilder(
+        "frame_stack_cnn",
+        TensorSpec("frames", (frames, 3, image_size, image_size), dtype),
+    )
+    builder.conv_bn_relu(64, kernel=7, stride=2, padding=3)
+    builder.pool(PoolKind.MAX, kernel=3, stride=2)
+
+    def basic_block(channels: int, stride: int = 1) -> None:
+        builder.conv_bn_relu(channels, kernel=3, stride=stride)
+        builder.conv_bn_relu(channels, kernel=3)
+        builder.residual_add()
+
+    for channels, stride in ((64, 1), (64, 1), (128, 2), (128, 1),
+                             (256, 2), (256, 1), (512, 2), (512, 1)):
+        basic_block(channels, stride)
+    spatial = builder.current.shape[-1]
+    builder.pool(PoolKind.AVERAGE, kernel=spatial, stride=spatial)
+    builder.reshape((frames, 512))
+    builder.linear(128)
+    builder.relu()
+    builder.linear(16)
+    builder.softmax()
+    return builder.build()

@@ -1,0 +1,22 @@
+"""Datacenter network and RPC substrate.
+
+Traditional serverless functions reach disaggregated storage through an
+RPC stack: protobuf serialisation, system calls, NIC transfer, and the
+datacenter fabric.  This package models each of those costs so the
+end-to-end latency decomposition (paper Fig. 4/10) has real components:
+
+- :class:`~repro.network.latency.NetworkModel` — RTT with lognormal tail
+  plus bandwidth-dependent transfer time, calibrated to the S3 CDFs of
+  Fig. 3.
+- :class:`~repro.network.serialization.SerializationModel` — protobuf
+  marshal/unmarshal cost (the overhead prior work builds accelerators
+  for, paper §3.1 [58]).
+- :class:`~repro.network.rpc.RPCStack` — composes both with syscall
+  overheads into request/response latencies.
+"""
+
+from repro.network.latency import NetworkModel
+from repro.network.rpc import RPCStack
+from repro.network.serialization import SerializationModel
+
+__all__ = ["NetworkModel", "RPCStack", "SerializationModel"]

@@ -1,0 +1,91 @@
+"""Network latency model: tail-heavy RTT plus bandwidth-limited transfer.
+
+Calibrated against the paper's Fig. 3 (AWS S3 read CDFs): multi-megabyte
+object reads land in the 0.02–0.2 s band, and the average gap between the
+median and the 99th percentile is ~110% (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.distributions import ShiftedLognormal
+from repro.units import MB_DEC, MS
+
+# Default p99/median ratio from the paper's tail characterisation (§2.2):
+# "average latency difference between the median and the 99th percentile is
+# a factor of 110%" -> p99 = 2.1x median.
+DEFAULT_TAIL_RATIO = 2.1
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """One network hop between a compute node and a storage node."""
+
+    rtt: ShiftedLognormal = field(
+        default_factory=lambda: ShiftedLognormal(
+            floor=2 * MS, median_total=12 * MS, p99_over_median=DEFAULT_TAIL_RATIO
+        )
+    )
+    bandwidth_bytes_per_s: float = 100 * MB_DEC
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"non-positive bandwidth: {self.bandwidth_bytes_per_s}"
+            )
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Median serialization delay of a payload on the link."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"negative payload: {num_bytes}")
+        return num_bytes / self.bandwidth_bytes_per_s
+
+    def sample_multiplier(self, rng: np.random.Generator) -> float:
+        """One congestion multiplier (median 1, p99 = tail ratio).
+
+        Queueing and congestion slow both connection setup and streaming,
+        so the whole access scales by one draw — and all accesses made by
+        one serverless request share the draw (congestion persists across
+        a request's lifetime).  This is what makes remote-storage reads
+        tail-heavy at *every* payload size (paper Fig. 3).
+        """
+        return float(self.rtt.sample(rng)) / self.rtt.median()
+
+    def sample_multipliers(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`sample_multiplier`."""
+        return self.rtt.sample_many(rng, count) / self.rtt.median()
+
+    def latency_with_multiplier(self, num_bytes: int, multiplier) -> float:
+        """Network time for a payload under a given congestion multiplier."""
+        return self.median_latency(num_bytes) * multiplier
+
+    def sample_latency(self, num_bytes: int, rng: np.random.Generator) -> float:
+        """One request's network time with a fresh congestion draw."""
+        return self.latency_with_multiplier(num_bytes, self.sample_multiplier(rng))
+
+    def sample_latency_many(
+        self, num_bytes: int, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`sample_latency` (independent draws)."""
+        return self.median_latency(num_bytes) * self.sample_multipliers(rng, count)
+
+    def median_latency(self, num_bytes: int) -> float:
+        """Analytic median network time for a payload."""
+        return self.rtt.median() + self.transfer_seconds(num_bytes)
+
+    def with_tail_ratio(self, p99_over_median: float) -> "NetworkModel":
+        """Copy with a different tail ratio (Fig. 15 sensitivity sweep)."""
+        return NetworkModel(
+            rtt=ShiftedLognormal(
+                floor=self.rtt.floor,
+                median_total=self.rtt.median_total,
+                p99_over_median=p99_over_median,
+            ),
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+        )

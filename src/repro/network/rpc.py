@@ -1,0 +1,88 @@
+"""The RPC stack a serverless function crosses to reach remote storage.
+
+Composes the network hop, protobuf serialisation, and kernel syscall
+overheads into the read/write latencies of the traditional execution path
+(paper §2.1): *"an AWS S3 read request is translated into a RPC that
+incurs the network latency...; the request further requires a protobuf
+deserialization and a read system call"*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.latency import NetworkModel
+from repro.network.serialization import SerializationModel
+from repro.units import US
+
+# Control-plane request messages are small.
+_REQUEST_BYTES = 512
+
+
+@dataclass(frozen=True)
+class RPCStack:
+    """Request/response RPC latency model between two nodes."""
+
+    network: NetworkModel = field(default_factory=NetworkModel)
+    serialization: SerializationModel = field(default_factory=SerializationModel)
+    syscall_seconds: float = 8 * US  # kernel entry/exit + VFS dispatch
+    syscalls_per_request: int = 4
+
+    def __post_init__(self) -> None:
+        if self.syscall_seconds < 0:
+            raise ConfigurationError(f"negative syscall cost: {self.syscall_seconds}")
+        if self.syscalls_per_request < 0:
+            raise ConfigurationError(
+                f"negative syscall count: {self.syscalls_per_request}"
+            )
+
+    def _software_seconds(self, payload_bytes: int) -> float:
+        marshal = self.serialization.round_trip_seconds(_REQUEST_BYTES, payload_bytes)
+        syscalls = self.syscall_seconds * self.syscalls_per_request
+        return marshal + syscalls
+
+    def sample_request(
+        self, payload_bytes: int, rng: np.random.Generator
+    ) -> float:
+        """One RPC carrying ``payload_bytes`` of data (either direction)."""
+        if payload_bytes < 0:
+            raise ConfigurationError(f"negative payload: {payload_bytes}")
+        return self.network.sample_latency(payload_bytes, rng) + self._software_seconds(
+            payload_bytes
+        )
+
+    def sample_request_many(
+        self, payload_bytes: int, rng: np.random.Generator, count: int
+    ):
+        """Vectorised :meth:`sample_request` (returns an ndarray)."""
+        if payload_bytes < 0:
+            raise ConfigurationError(f"negative payload: {payload_bytes}")
+        return self.network.sample_latency_many(
+            payload_bytes, rng, count
+        ) + self._software_seconds(payload_bytes)
+
+    def request_with_multiplier(self, payload_bytes: int, multiplier):
+        """RPC latency under a given (shared) congestion multiplier."""
+        if payload_bytes < 0:
+            raise ConfigurationError(f"negative payload: {payload_bytes}")
+        return self.network.latency_with_multiplier(
+            payload_bytes, multiplier
+        ) + self._software_seconds(payload_bytes)
+
+    def median_request(self, payload_bytes: int) -> float:
+        """Analytic median RPC latency for a payload."""
+        return self.network.median_latency(payload_bytes) + self._software_seconds(
+            payload_bytes
+        )
+
+    def with_tail_ratio(self, p99_over_median: float) -> "RPCStack":
+        """Copy with the network tail ratio replaced (Fig. 15 sweep)."""
+        return RPCStack(
+            network=self.network.with_tail_ratio(p99_over_median),
+            serialization=self.serialization,
+            syscall_seconds=self.syscall_seconds,
+            syscalls_per_request=self.syscalls_per_request,
+        )

@@ -1,0 +1,47 @@
+"""Protobuf-style serialisation cost model.
+
+Every S3-style storage RPC marshals its request and unmarshals its
+response; the paper (§3.1) highlights this as expensive enough that prior
+work built hardware accelerators for it [58].  Costs scale with payload
+size plus a fixed per-message overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MB_DEC, US
+
+
+@dataclass(frozen=True)
+class SerializationModel:
+    """Marshal/unmarshal cost for RPC payloads on a server-class core."""
+
+    per_message_seconds: float = 25 * US
+    seconds_per_byte: float = 1.0 / (1.8 * 1000 * MB_DEC)  # ~1.8 GB/s protobuf
+
+    def __post_init__(self) -> None:
+        if self.per_message_seconds < 0 or self.seconds_per_byte < 0:
+            raise ConfigurationError("negative serialization cost")
+
+    def serialize_seconds(self, num_bytes: int) -> float:
+        """Cost to marshal a payload of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"negative payload: {num_bytes}")
+        return self.per_message_seconds + num_bytes * self.seconds_per_byte
+
+    def deserialize_seconds(self, num_bytes: int) -> float:
+        """Cost to unmarshal a payload (same cost shape as marshal)."""
+        return self.serialize_seconds(num_bytes)
+
+    def round_trip_seconds(self, request_bytes: int, response_bytes: int) -> float:
+        """Marshal request + unmarshal response on the caller, plus the
+        mirror pair on the callee."""
+        caller = self.serialize_seconds(request_bytes) + self.deserialize_seconds(
+            response_bytes
+        )
+        callee = self.deserialize_seconds(request_bytes) + self.serialize_seconds(
+            response_bytes
+        )
+        return caller + callee

@@ -1,0 +1,45 @@
+"""Compute platforms evaluated in the paper (Table 2).
+
+Two families:
+
+- :class:`~repro.platforms.base.AnalyticalPlatform` — roofline-style
+  models for the CPU, GPU, ARM, and mobile-GPU platforms.  This mirrors
+  the paper's methodology: non-DSA platform numbers come from an
+  analytical model substituting the measured compute latency.
+- :class:`~repro.platforms.dsa.DSAPlatform` — backed by the compiler and
+  cycle-level simulator; used for both the ASIC DSA (DSCS) and the FPGA
+  implementations of the DSA (Alveo U280 and SmartSSD), which run the same
+  architecture at lower clocks with fewer PEs.
+
+:mod:`~repro.platforms.registry` instantiates the Table 2 lineup.
+"""
+
+from repro.platforms.base import AnalyticalPlatform, ComputePlatform, PlatformKind
+from repro.platforms.dsa import DSAPlatform
+from repro.platforms.registry import (
+    PLATFORM_BUILDERS,
+    baseline_cpu,
+    dscs_dsa,
+    fpga_u280,
+    gpu_2080ti,
+    ns_arm,
+    ns_fpga_smartssd,
+    ns_mobile_gpu,
+    table2_platforms,
+)
+
+__all__ = [
+    "AnalyticalPlatform",
+    "ComputePlatform",
+    "DSAPlatform",
+    "PLATFORM_BUILDERS",
+    "PlatformKind",
+    "baseline_cpu",
+    "dscs_dsa",
+    "fpga_u280",
+    "gpu_2080ti",
+    "ns_arm",
+    "ns_fpga_smartssd",
+    "ns_mobile_gpu",
+    "table2_platforms",
+]

@@ -1,0 +1,123 @@
+"""Compute-platform abstraction and the analytical (roofline) family.
+
+A platform answers three questions for a model graph: how long does one
+inference take, how much power does it draw while doing it, and what does
+the hardware cost.  Where the platform sits (remote compute node vs inside
+the storage drive) is what determines the *data path* — that part lives in
+the execution models (`repro.core`), not here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.models.graph import Graph
+from repro.storage.pcie import PCIeLink
+from repro.units import GFLOP
+
+
+class PlatformKind(enum.Enum):
+    """Where the platform lives in the datacenter (Table 2 grouping)."""
+
+    TRADITIONAL = "traditional"  # remote compute node, data over network
+    NEAR_STORAGE = "near_storage"  # inside/adjacent to the storage node
+    DSCS = "dscs"  # the paper's in-storage DSA
+
+
+class ComputePlatform:
+    """Interface every evaluated platform implements."""
+
+    name: str
+    kind: PlatformKind
+    active_power_watts: float
+    idle_power_watts: float
+    capex_usd: float
+    # Per-invocation software cost to dispatch onto the device (driver,
+    # runtime, kernel-launch amortisation). Zero for plain CPUs.
+    driver_overhead_seconds: float
+    # Host->device link for discrete accelerators (None when compute reads
+    # host memory directly, e.g. CPUs, or when the device is in-storage).
+    device_link: Optional[PCIeLink]
+
+    def compute_latency_seconds(self, graph: Graph, batch: int = 1) -> float:
+        """Pure device-compute latency for one inference of ``graph``."""
+        raise NotImplementedError
+
+    def compute_energy_joules(self, graph: Graph, batch: int = 1) -> float:
+        """Device energy for one inference."""
+        latency = self.compute_latency_seconds(graph, batch)
+        return self.active_power_watts * latency
+
+    def device_copy_seconds(self, num_bytes: int) -> float:
+        """Host<->device staging cost (e.g. cudaMemcpy), if applicable."""
+        if self.device_link is None:
+            return 0.0
+        return self.device_link.transfer_seconds(num_bytes)
+
+    @property
+    def is_accelerator(self) -> bool:
+        """True when dispatch crosses a device driver."""
+        return self.driver_overhead_seconds > 0
+
+
+@dataclass
+class AnalyticalPlatform(ComputePlatform):
+    """Roofline model: max(compute-bound, memory-bound) + per-op overhead.
+
+    ``effective_flops`` is the *sustained* batch-1 inference throughput —
+    peak silicon FLOPS already derated by achievable utilisation, so the
+    model stays honest about batch-1 serverless behaviour.  Batching
+    recovers utilisation up to ``max_batch_speedup`` with diminishing
+    returns (weight reuse amortised, paper Fig. 14).
+    """
+
+    name: str = "cpu"
+    kind: PlatformKind = PlatformKind.TRADITIONAL
+    effective_flops: float = 150 * GFLOP
+    memory_bandwidth_bytes_per_s: float = 60e9
+    per_op_overhead_seconds: float = 10e-6
+    driver_overhead_seconds: float = 0.0
+    device_link: Optional[PCIeLink] = None
+    active_power_watts: float = 180.0
+    idle_power_watts: float = 60.0
+    capex_usd: float = 6000.0
+    flops_dtype_bytes: int = 4  # fp32 execution on general-purpose cores
+    max_batch_speedup: float = 4.0
+    batch_half_saturation: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.effective_flops <= 0:
+            raise ConfigurationError(f"{self.name}: non-positive FLOPS")
+        if self.memory_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(f"{self.name}: non-positive bandwidth")
+        if self.per_op_overhead_seconds < 0 or self.driver_overhead_seconds < 0:
+            raise ConfigurationError(f"{self.name}: negative overhead")
+
+    def _batch_efficiency(self, batch: int) -> float:
+        """Per-sample speedup factor from batching (>=1, saturating)."""
+        if batch <= 1:
+            return 1.0
+        gain = 1.0 + (self.max_batch_speedup - 1.0) * (batch - 1) / (
+            batch - 1 + self.batch_half_saturation
+        )
+        return gain
+
+    def compute_latency_seconds(self, graph: Graph, batch: int = 1) -> float:
+        if batch <= 0:
+            raise ConfigurationError(f"batch must be positive, got {batch}")
+        stats = graph.stats()
+        flops = stats.total_flops * batch
+        # Weights are touched once per batch; activations scale with batch.
+        weight_traffic = stats.weight_bytes * self.flops_dtype_bytes
+        activation_traffic = (
+            (stats.input_bytes + stats.output_bytes) * self.flops_dtype_bytes * batch
+        )
+        compute_bound = flops / (self.effective_flops * self._batch_efficiency(batch))
+        memory_bound = (
+            weight_traffic + activation_traffic
+        ) / self.memory_bandwidth_bytes_per_s
+        op_overhead = stats.num_ops * self.per_op_overhead_seconds
+        return max(compute_bound, memory_bound) + op_overhead

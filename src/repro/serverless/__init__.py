@@ -1,0 +1,40 @@
+"""Serverless system stack (paper §2.1, §5).
+
+Functions, DAG applications, deployment metadata with DSA-acceleration
+hints, the OpenCL-style device driver, cold-start modeling, Prometheus-like
+telemetry, and the placement/fail-over logic that decides whether an
+invocation runs in-storage or falls back to a conventional compute node.
+"""
+
+from repro.serverless.application import Application
+from repro.serverless.coldstart import ColdStartModel
+from repro.serverless.deployment import DeploymentManifest, FunctionConfig
+from repro.serverless.driver import OpenCLDriver
+from repro.serverless.function import FunctionRole, ServerlessFunction
+from repro.serverless.scheduler import FunctionPlacer, PlacementDecision
+from repro.serverless.telemetry import TelemetryRegistry
+
+
+def __getattr__(name):
+    # ServerlessPlatform pulls in the execution models (repro.core), which
+    # themselves import this package — resolve it lazily to keep the
+    # import graph acyclic.
+    if name == "ServerlessPlatform":
+        from repro.serverless.runtime import ServerlessPlatform
+
+        return ServerlessPlatform
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Application",
+    "ColdStartModel",
+    "DeploymentManifest",
+    "FunctionConfig",
+    "FunctionPlacer",
+    "FunctionRole",
+    "OpenCLDriver",
+    "PlacementDecision",
+    "ServerlessFunction",
+    "ServerlessPlatform",
+    "TelemetryRegistry",
+]

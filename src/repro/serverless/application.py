@@ -1,0 +1,120 @@
+"""Applications: DAGs of serverless functions with explicit payload sizes.
+
+Developers "define their applications as a DAG of decoupled functions"
+(paper §5.1).  The Table 1 pipelines are linear three-stage chains; this
+class supports arbitrary-length chains (Fig. 16 extends apps with extra
+accelerated inference stages) and records the payload flowing on each
+edge, since data movement is the paper's central quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import DeploymentError
+from repro.serverless.function import FunctionRole, ServerlessFunction
+
+
+@dataclass(frozen=True)
+class Application:
+    """A chained serverless application."""
+
+    name: str
+    functions: tuple
+    input_bytes: int
+    # edge_bytes[i] is the payload from functions[i] to functions[i+1];
+    # the last entry is the application's final output.
+    edge_bytes: tuple
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DeploymentError("application must have a non-empty name")
+        if len(self.functions) < 1:
+            raise DeploymentError(f"application {self.name!r} has no functions")
+        if len(self.edge_bytes) != len(self.functions):
+            raise DeploymentError(
+                f"application {self.name!r}: need one edge size per function "
+                f"({len(self.functions)} functions, {len(self.edge_bytes)} edges)"
+            )
+        if self.input_bytes <= 0:
+            raise DeploymentError(f"application {self.name!r}: non-positive input")
+        for size in self.edge_bytes:
+            if size <= 0:
+                raise DeploymentError(
+                    f"application {self.name!r}: non-positive edge payload"
+                )
+
+    @staticmethod
+    def chain(
+        name: str,
+        functions: Sequence[ServerlessFunction],
+        input_bytes: int,
+        edge_bytes: Sequence[int],
+    ) -> "Application":
+        """Build a chain application (convenience constructor)."""
+        return Application(
+            name=name,
+            functions=tuple(functions),
+            input_bytes=input_bytes,
+            edge_bytes=tuple(edge_bytes),
+        )
+
+    def function_input_bytes(self, index: int) -> int:
+        """Payload read from storage by the ``index``-th function."""
+        if index == 0:
+            return self.input_bytes
+        return self.edge_bytes[index - 1]
+
+    def function_output_bytes(self, index: int) -> int:
+        """Payload written to storage by the ``index``-th function."""
+        return self.edge_bytes[index]
+
+    @property
+    def accelerated_functions(self) -> List[ServerlessFunction]:
+        return [f for f in self.functions if f.acceleratable]
+
+    @property
+    def inference_function(self) -> ServerlessFunction:
+        """The primary ML inference stage."""
+        for function in self.functions:
+            if function.role is FunctionRole.INFERENCE:
+                return function
+        raise DeploymentError(f"application {self.name!r} has no inference stage")
+
+    def with_extra_inference_stages(self, copies: int) -> "Application":
+        """Duplicate the inference stage ``copies`` times (Fig. 16).
+
+        The paper's sensitivity study appends one to three duplicates of
+        the original function 2 to emulate deeper pipelines.
+        """
+        if copies < 0:
+            raise DeploymentError(f"negative stage copies: {copies}")
+        if copies == 0:
+            return self
+        functions = list(self.functions)
+        edges = list(self.edge_bytes)
+        inference = self.inference_function
+        base_index = functions.index(inference)
+        # Each duplicate re-processes the same tensor payload the original
+        # inference stage consumes, so the duplicated edges carry the
+        # inference *input* size; the original small result edge stays on
+        # the last duplicate, feeding the notification stage unchanged.
+        tensor_bytes = self.function_input_bytes(base_index)
+        for copy_index in range(copies):
+            clone = ServerlessFunction(
+                name=f"{inference.name}_dup{copy_index + 1}",
+                role=inference.role,
+                graph=inference.graph,
+                cpu_work_seconds=inference.cpu_work_seconds,
+                output_bytes=inference.output_bytes,
+                acceleratable=inference.acceleratable,
+            )
+            functions.insert(base_index + 1 + copy_index, clone)
+            edges.insert(base_index + copy_index, tensor_bytes)
+        return Application(
+            name=f"{self.name}+{copies}f",
+            functions=tuple(functions),
+            input_bytes=self.input_bytes,
+            edge_bytes=tuple(edges),
+        )

@@ -1,0 +1,80 @@
+"""Cold-start model (paper §5.3, Fig. 17).
+
+A cold start pulls the function's container image (which includes the
+model weights) from a remote registry, unpacks it, passes a health check,
+and — for DSA functions — loads the weights into the accelerator's memory.
+DSCS-Serverless adds one optimisation: an evicted function image can be
+parked on the drive's flash and reloaded over the P2P link instead of
+re-fetched over the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.storage.drive import DSCSDrive
+from repro.units import MB_DEC, MS
+
+
+@dataclass(frozen=True)
+class ColdStartModel:
+    """Latency model for container cold starts."""
+
+    registry_bandwidth_bytes_per_s: float = 80 * MB_DEC
+    registry_rtt_seconds: float = 30 * MS
+    unpack_seconds_per_byte: float = 1.0 / (400 * 1000 * MB_DEC)
+    health_check_seconds: float = 150 * MS
+    warm_window_seconds: float = 600.0  # keep-alive period after an invoke
+
+    def __post_init__(self) -> None:
+        if self.registry_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("non-positive registry bandwidth")
+        if min(
+            self.registry_rtt_seconds,
+            self.unpack_seconds_per_byte,
+            self.health_check_seconds,
+            self.warm_window_seconds,
+        ) < 0:
+            raise ConfigurationError("negative cold-start parameter")
+
+    def pull_seconds(self, image_bytes: int) -> float:
+        """Fetch the container image from the remote registry."""
+        if image_bytes < 0:
+            raise ConfigurationError(f"negative image size: {image_bytes}")
+        return (
+            self.registry_rtt_seconds
+            + image_bytes / self.registry_bandwidth_bytes_per_s
+        )
+
+    def unpack_seconds(self, image_bytes: int) -> float:
+        """Unpack/extract the image on the node."""
+        return image_bytes * self.unpack_seconds_per_byte
+
+    def cold_start_seconds(self, image_bytes: int) -> float:
+        """Full network cold start: pull + unpack + health check."""
+        return (
+            self.pull_seconds(image_bytes)
+            + self.unpack_seconds(image_bytes)
+            + self.health_check_seconds
+        )
+
+    def p2p_reload_seconds(self, image_bytes: int, drive: DSCSDrive) -> float:
+        """Reload a flash-parked image over the drive's P2P link (§5.3).
+
+        Skips the registry pull entirely; the image streams from flash to
+        the DSA's memory, then passes the health check.
+        """
+        return (
+            drive.p2p_read_seconds(image_bytes)
+            + self.unpack_seconds(image_bytes)
+            + self.health_check_seconds
+        )
+
+    def is_warm(self, seconds_since_last_invoke: float) -> bool:
+        """Whether a container invoked this long ago is still resident."""
+        if seconds_since_last_invoke < 0:
+            raise ConfigurationError(
+                f"negative idle time: {seconds_since_last_invoke}"
+            )
+        return seconds_since_last_invoke <= self.warm_window_seconds

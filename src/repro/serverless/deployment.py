@@ -1,0 +1,121 @@
+"""Deployment metadata: the YAML-style function configuration (paper §5.1).
+
+DSCS-Serverless "extends this YAML file to enable developers to mark
+in-storage DSA acceleratable functions".  The manifest also captures the
+conventional knobs (timeout, trigger, memory) and the container image the
+function ships with — including, for accelerated functions, the OpenCL
+runtime and the compiler-generated DSA executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import DeploymentError
+from repro.serverless.application import Application
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class FunctionConfig:
+    """Per-function deployment configuration (one YAML stanza)."""
+
+    function_name: str
+    timeout_seconds: float = 30.0
+    memory_mb: int = 1024
+    trigger: str = "http"
+    accelerator: Optional[str] = None  # e.g. "dsa" — the paper's extension
+    max_instances: int = 200
+    container_image_bytes: int = 256 * MB
+
+    def __post_init__(self) -> None:
+        if not self.function_name:
+            raise DeploymentError("config must name its function")
+        if self.timeout_seconds <= 0:
+            raise DeploymentError(
+                f"{self.function_name}: non-positive timeout"
+            )
+        if self.memory_mb <= 0 or self.max_instances <= 0:
+            raise DeploymentError(
+                f"{self.function_name}: non-positive memory/instances"
+            )
+        if self.container_image_bytes <= 0:
+            raise DeploymentError(
+                f"{self.function_name}: non-positive container image"
+            )
+
+    @property
+    def wants_dsa(self) -> bool:
+        return self.accelerator == "dsa"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to the YAML-equivalent mapping."""
+        payload: Dict[str, object] = {
+            "function": self.function_name,
+            "timeout": self.timeout_seconds,
+            "memory_mb": self.memory_mb,
+            "trigger": self.trigger,
+            "max_instances": self.max_instances,
+            "image_bytes": self.container_image_bytes,
+        }
+        if self.accelerator is not None:
+            payload["accelerator"] = self.accelerator
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "FunctionConfig":
+        """Parse the YAML-equivalent mapping."""
+        try:
+            return FunctionConfig(
+                function_name=str(payload["function"]),
+                timeout_seconds=float(payload.get("timeout", 30.0)),
+                memory_mb=int(payload.get("memory_mb", 1024)),
+                trigger=str(payload.get("trigger", "http")),
+                accelerator=(
+                    str(payload["accelerator"]) if "accelerator" in payload else None
+                ),
+                max_instances=int(payload.get("max_instances", 200)),
+                container_image_bytes=int(payload.get("image_bytes", 256 * MB)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DeploymentError(f"malformed function config: {exc}") from exc
+
+
+@dataclass
+class DeploymentManifest:
+    """All function configs for one application deployment."""
+
+    application_name: str
+    configs: List[FunctionConfig] = field(default_factory=list)
+
+    def config_for(self, function_name: str) -> FunctionConfig:
+        for config in self.configs:
+            if config.function_name == function_name:
+                return config
+        raise DeploymentError(
+            f"no config for function {function_name!r} in "
+            f"{self.application_name!r}"
+        )
+
+    @staticmethod
+    def for_application(
+        app: Application, accelerate: bool = True
+    ) -> "DeploymentManifest":
+        """Generate the default manifest: mark DSA-amenable functions.
+
+        The developer (not the system) partitions the application into
+        acceleratable and non-acceleratable functions (paper §5.1); here
+        the function's ``acceleratable`` flag stands in for that decision.
+        """
+        configs = []
+        for function in app.functions:
+            weights = function.weight_bytes
+            configs.append(
+                FunctionConfig(
+                    function_name=function.name,
+                    accelerator="dsa" if (accelerate and function.acceleratable) else None,
+                    container_image_bytes=max(64 * MB, weights + 64 * MB),
+                )
+            )
+        return DeploymentManifest(application_name=app.name, configs=configs)

@@ -1,0 +1,51 @@
+"""The OpenCL device driver for the in-storage DSA (paper §5.1).
+
+The driver maps storage space and the DSA's configuration registers into
+the host's address space, orchestrates the P2P transfers that bypass the
+host software stack, and handles the completion interrupt.  Its cost is a
+handful of system calls plus register programming — the "single system
+call that initiates a P2P data transfer" of §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class OpenCLDriver:
+    """Per-invocation driver cost model."""
+
+    syscall_seconds: float = 10 * US
+    register_setup_seconds: float = 1800 * US  # map + program DSA config regs
+    interrupt_seconds: float = 700 * US  # completion IRQ + handler + wakeup
+    security_check_seconds: float = 300 * US  # OS access-control checks
+
+    def __post_init__(self) -> None:
+        for name in (
+            "syscall_seconds",
+            "register_setup_seconds",
+            "interrupt_seconds",
+            "security_check_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"driver: negative {name}")
+
+    def dispatch_seconds(self) -> float:
+        """Host cost to launch one function on the DSA."""
+        return (
+            self.syscall_seconds
+            + self.security_check_seconds
+            + self.register_setup_seconds
+        )
+
+    def completion_seconds(self) -> float:
+        """Host cost to retire one function (interrupt + result syscall)."""
+        return self.interrupt_seconds + self.syscall_seconds
+
+    def round_trip_seconds(self) -> float:
+        """Total host driver involvement per invocation."""
+        return self.dispatch_seconds() + self.completion_seconds()

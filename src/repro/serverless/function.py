@@ -1,0 +1,65 @@
+"""Serverless functions: stateless units chained into applications.
+
+Each Table 1 application is three functions (paper Fig. 2): data
+pre-processing, ML/DNN inference, and a notification service.  The first
+two carry model graphs and are candidates for DSA acceleration; the
+notification function is plain CPU business logic and always runs on a
+compute node (paper §6.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DeploymentError
+from repro.models.graph import Graph
+from repro.units import MS
+
+
+class FunctionRole(enum.Enum):
+    """Position of a function in the canonical three-stage pipeline."""
+
+    PREPROCESS = "preprocess"
+    INFERENCE = "inference"
+    NOTIFICATION = "notification"
+
+
+@dataclass(frozen=True)
+class ServerlessFunction:
+    """One stateless serverless function."""
+
+    name: str
+    role: FunctionRole
+    graph: Optional[Graph] = None
+    # For functions without a model graph (notification), fixed CPU work.
+    cpu_work_seconds: float = 1.0 * MS
+    output_bytes: int = 1024
+    acceleratable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DeploymentError("function must have a non-empty name")
+        if self.acceleratable and self.graph is None:
+            raise DeploymentError(
+                f"function {self.name!r} marked acceleratable but has no graph"
+            )
+        if self.cpu_work_seconds < 0:
+            raise DeploymentError(f"function {self.name!r}: negative CPU work")
+        if self.output_bytes < 0:
+            raise DeploymentError(f"function {self.name!r}: negative output size")
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes this function reads from storage (graph input or small msg)."""
+        if self.graph is not None:
+            return self.graph.input.size_bytes
+        return 1024
+
+    @property
+    def weight_bytes(self) -> int:
+        """Model parameters shipped in the container image."""
+        if self.graph is None:
+            return 0
+        return self.graph.stats().weight_bytes

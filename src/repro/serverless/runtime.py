@@ -1,0 +1,110 @@
+"""The serverless platform facade: deployment + storage + scheduling +
+execution wired together.
+
+This is the "whole system" entry point a downstream user drives: deploy an
+application (with DSA hints), upload request data (placed next to a
+DSCS-Drive when acceleratable), and invoke — the placer decides between
+in-storage acceleration and conventional fall-back per request, telemetry
+records outcomes, and the execution models produce the latency/energy
+result for whichever path was taken.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.breakdown import InvocationResult
+from repro.core.fabric import StorageFabric
+from repro.core.model import ServerlessExecutionModel
+from repro.errors import DeploymentError
+from repro.platforms.base import ComputePlatform
+from repro.serverless.application import Application
+from repro.serverless.deployment import DeploymentManifest
+from repro.serverless.scheduler import FunctionPlacer
+from repro.serverless.telemetry import TelemetryRegistry
+from repro.storage.drive import DSCSDrive
+from repro.storage.object_store import ObjectStore
+
+
+@dataclass
+class ServerlessPlatform:
+    """An operating DSCS-Serverless deployment."""
+
+    store: ObjectStore
+    accelerated_platform: ComputePlatform  # runs in-storage placements
+    fallback_platform: ComputePlatform  # conventional execution path
+    telemetry: TelemetryRegistry = field(default_factory=TelemetryRegistry)
+    _apps: Dict[str, Application] = field(default_factory=dict)
+    _manifests: Dict[str, DeploymentManifest] = field(default_factory=dict)
+    _request_ids: itertools.count = field(default_factory=itertools.count)
+
+    def __post_init__(self) -> None:
+        self._placer = FunctionPlacer(store=self.store, telemetry=self.telemetry)
+
+    # --- deployment -------------------------------------------------------
+    def deploy(
+        self, app: Application, manifest: Optional[DeploymentManifest] = None
+    ) -> DeploymentManifest:
+        """Register an application (enlists it in the function registry)."""
+        if app.name in self._apps:
+            raise DeploymentError(f"application {app.name!r} already deployed")
+        manifest = manifest or DeploymentManifest.for_application(app)
+        self._apps[app.name] = app
+        self._manifests[app.name] = manifest
+        return manifest
+
+    def deployed_applications(self):
+        return list(self._apps)
+
+    # --- data path --------------------------------------------------------
+    def upload_request(self, app_name: str, payload_bytes: int) -> str:
+        """Store a request payload; acceleratable apps get a DSCS replica."""
+        app = self._require_app(app_name)
+        acceleratable = bool(app.accelerated_functions)
+        key = f"{app_name}/request-{next(self._request_ids)}"
+        self.store.put(key, payload_bytes, acceleratable=acceleratable)
+        return key
+
+    # --- invocation -------------------------------------------------------
+    def invoke(
+        self, app_name: str, key: str, rng: np.random.Generator
+    ) -> InvocationResult:
+        """One end-to-end request: place, execute, record telemetry."""
+        app = self._require_app(app_name)
+        manifest = self._manifests[app_name]
+        decision = self._placer.place_chain(
+            app.accelerated_functions or [app.functions[0]], key, manifest
+        )
+
+        if decision.accelerated and isinstance(decision.drive, DSCSDrive):
+            drive = decision.drive
+            fabric = StorageFabric(dscs_drive=drive)
+            model = ServerlessExecutionModel(
+                platform=self.accelerated_platform, fabric=fabric
+            )
+            node = f"dscs-drive-{drive.drive_id}"
+            drive.mark_busy()
+            self.telemetry.mark_busy(node, True)
+            try:
+                result = model.invoke(app, rng)
+            finally:
+                drive.mark_idle()
+                self.telemetry.mark_busy(node, False)
+            self.telemetry.inc_counter("accelerated_invocations", node)
+        else:
+            model = ServerlessExecutionModel(platform=self.fallback_platform)
+            result = model.invoke(app, rng)
+            self.telemetry.inc_counter("fallback_invocations", "compute-tier")
+
+        self.telemetry.inc_counter("invocations", app_name)
+        return result
+
+    def _require_app(self, app_name: str) -> Application:
+        try:
+            return self._apps[app_name]
+        except KeyError:
+            raise DeploymentError(f"application {app_name!r} not deployed") from None

@@ -1,0 +1,131 @@
+"""Function placement: in-storage acceleration vs conventional fall-back.
+
+Implements the paper's placement and fail-over rules (§5.2, §5.3):
+
+- an acceleratable function runs on the DSCS-Drive that holds its data,
+  if that node is healthy and its DSA is idle;
+- otherwise it falls back to conventional execution on a compute node
+  (DSCS-Drives still serve standard storage APIs);
+- chained functions map to the same drive when the same DSA can serve
+  them, else they fall back to CPU;
+- data spanning multiple drives forces CPU fall-back (or fan-out, which
+  the object store flags).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SchedulingError
+from repro.serverless.deployment import DeploymentManifest
+from repro.serverless.function import ServerlessFunction
+from repro.serverless.telemetry import TelemetryRegistry
+from repro.storage.drive import DSCSDrive
+from repro.storage.object_store import ObjectStore
+
+
+class PlacementTarget(enum.Enum):
+    """Where an invocation lands."""
+
+    IN_STORAGE_DSA = "in_storage_dsa"
+    COMPUTE_NODE = "compute_node"
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Outcome of placing one function invocation."""
+
+    target: PlacementTarget
+    drive: Optional[DSCSDrive] = None
+    reason: str = ""
+
+    @property
+    def accelerated(self) -> bool:
+        return self.target is PlacementTarget.IN_STORAGE_DSA
+
+
+@dataclass
+class FunctionPlacer:
+    """Kubernetes-scheduler extension exposing DSA-capable storage nodes."""
+
+    store: ObjectStore
+    telemetry: TelemetryRegistry = field(default_factory=TelemetryRegistry)
+
+    def place(
+        self,
+        function: ServerlessFunction,
+        input_key: str,
+        manifest: Optional[DeploymentManifest] = None,
+    ) -> PlacementDecision:
+        """Decide where one invocation of ``function`` executes."""
+        wants_dsa = function.acceleratable
+        if manifest is not None:
+            config = manifest.config_for(function.name)
+            wants_dsa = wants_dsa and config.wants_dsa
+        if not wants_dsa:
+            return PlacementDecision(
+                target=PlacementTarget.COMPUTE_NODE,
+                reason="function not marked for DSA acceleration",
+            )
+
+        meta = self.store.get_meta(input_key)
+        if not meta.single_drive:
+            # Exceptional multi-chunk case (paper §5.2): revert to CPU.
+            return PlacementDecision(
+                target=PlacementTarget.COMPUTE_NODE,
+                reason=f"data spans {meta.num_chunks} chunks",
+            )
+
+        replica = meta.accelerated_replica()
+        if replica is None:
+            return PlacementDecision(
+                target=PlacementTarget.COMPUTE_NODE,
+                reason="no replica on a DSCS-Drive",
+            )
+
+        node_label = f"storage-node-{replica.node.node_id}"
+        if not self.telemetry.is_healthy(node_label):
+            # Fail-over (paper §5.3): conventional execution path.
+            return PlacementDecision(
+                target=PlacementTarget.COMPUTE_NODE,
+                reason=f"{node_label} unhealthy; failing over",
+            )
+
+        drive = replica.drive
+        if not isinstance(drive, DSCSDrive):  # pragma: no cover - defensive
+            raise SchedulingError("accelerated replica on non-DSCS drive")
+        if drive.busy or self.telemetry.is_busy(node_label):
+            return PlacementDecision(
+                target=PlacementTarget.COMPUTE_NODE,
+                reason=f"{node_label} DSA busy; conventional execution",
+            )
+
+        return PlacementDecision(
+            target=PlacementTarget.IN_STORAGE_DSA,
+            drive=drive,
+            reason=f"data and idle DSA co-located on {node_label}",
+        )
+
+    def place_chain(
+        self,
+        functions,
+        input_key: str,
+        manifest: Optional[DeploymentManifest] = None,
+    ) -> PlacementDecision:
+        """Place a chain of functions (paper §5.3, function chaining).
+
+        Chained functions map to the same DSCS-Drive only when *all* of
+        them are acceleratable by its DSA; otherwise the chain falls back
+        to conventional execution.
+        """
+        if not functions:
+            raise SchedulingError("cannot place an empty chain")
+        for function in functions:
+            if not function.acceleratable:
+                return PlacementDecision(
+                    target=PlacementTarget.COMPUTE_NODE,
+                    reason=f"chain member {function.name!r} not acceleratable",
+                )
+        return self.place(functions[0], input_key, manifest)

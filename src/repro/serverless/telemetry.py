@@ -1,0 +1,64 @@
+"""Prometheus-style telemetry registry (paper §5.1, §5.2).
+
+The scheduler "relies on Prometheus telemetry to decide whether to employ
+in-storage acceleration or execute the function in a conventional manner
+depending on if the node is busy", and fail-over uses the same signals for
+node-health monitoring.  This registry holds counters and gauges keyed by
+``(metric, node)`` and answers those two questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+_MetricKey = Tuple[str, str]
+
+
+@dataclass
+class TelemetryRegistry:
+    """In-memory metric store scraped by the scheduler."""
+
+    _counters: Dict[_MetricKey, float] = field(default_factory=dict)
+    _gauges: Dict[_MetricKey, float] = field(default_factory=dict)
+
+    def inc_counter(self, metric: str, node: str, amount: float = 1.0) -> None:
+        """Increment a monotonically increasing counter."""
+        if amount < 0:
+            raise ConfigurationError(f"counter {metric!r} cannot decrease")
+        key = (metric, node)
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def set_gauge(self, metric: str, node: str, value: float) -> None:
+        """Set an instantaneous gauge value."""
+        self._gauges[(metric, node)] = value
+
+    def counter(self, metric: str, node: str) -> float:
+        return self._counters.get((metric, node), 0.0)
+
+    def gauge(self, metric: str, node: str, default: float = 0.0) -> float:
+        return self._gauges.get((metric, node), default)
+
+    # --- scheduler-facing helpers ----------------------------------------
+    def mark_busy(self, node: str, busy: bool) -> None:
+        """Record a node's compute-busy status (run-to-completion model)."""
+        self.set_gauge("compute_busy", node, 1.0 if busy else 0.0)
+
+    def is_busy(self, node: str) -> bool:
+        return self.gauge("compute_busy", node) >= 1.0
+
+    def mark_healthy(self, node: str, healthy: bool) -> None:
+        """Record node health for fail-over decisions."""
+        self.set_gauge("healthy", node, 1.0 if healthy else 0.0)
+
+    def is_healthy(self, node: str) -> bool:
+        return self.gauge("healthy", node, default=1.0) >= 1.0
+
+    def scrape(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot all metrics grouped by metric name."""
+        merged: Dict[str, Dict[str, float]] = {}
+        for (metric, node), value in {**self._counters, **self._gauges}.items():
+            merged.setdefault(metric, {})[node] = value
+        return merged

@@ -1,0 +1,109 @@
+"""Warm-container pool: keep-alive tracking and cold-start accounting.
+
+Functions stay resident for a keep-alive window after each invocation
+(paper §5.3: "the function is kept warm ... for a certain period of
+time"); DSCS additionally parks evicted images on flash for P2P reload.
+The pool tracks per-function residency over an invocation timeline and
+reports the cold-start fraction — the quantity that decides how much of
+Fig. 17's cold penalty a real arrival pattern actually pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.serverless.coldstart import ColdStartModel
+
+
+@dataclass(frozen=True)
+class WarmPoolStats:
+    """Outcome of replaying an invocation timeline against the pool."""
+
+    total_invocations: int
+    cold_invocations: int
+    flash_reloads: int  # cold, but served from the drive's parked image
+
+    @property
+    def cold_fraction(self) -> float:
+        if self.total_invocations == 0:
+            return 0.0
+        return self.cold_invocations / self.total_invocations
+
+
+@dataclass
+class WarmPool:
+    """Tracks container residency per function with bounded capacity.
+
+    ``capacity`` bounds how many containers stay resident; eviction is
+    least-recently-used.  On a DSCS node, evicted images are parked on
+    flash (paper §5.3), so a later cold start for a previously seen
+    function is a fast P2P reload instead of a registry pull.
+    """
+
+    coldstart: ColdStartModel = field(default_factory=ColdStartModel)
+    capacity: int = 16
+    flash_parking: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"non-positive capacity: {self.capacity}")
+        self._last_invocation: Dict[str, float] = {}
+        self._parked_on_flash: set = set()
+
+    @property
+    def resident_functions(self) -> List[str]:
+        return list(self._last_invocation)
+
+    def _evict_if_needed(self, now: float) -> None:
+        # Age out containers past the keep-alive window first.
+        expired = [
+            name
+            for name, last in self._last_invocation.items()
+            if not self.coldstart.is_warm(now - last)
+        ]
+        for name in expired:
+            self._evict(name)
+        while len(self._last_invocation) >= self.capacity:
+            lru = min(self._last_invocation, key=self._last_invocation.get)
+            self._evict(lru)
+
+    def _evict(self, name: str) -> None:
+        del self._last_invocation[name]
+        if self.flash_parking:
+            self._parked_on_flash.add(name)
+
+    def invoke(self, function_name: str, now: float) -> Tuple[bool, bool]:
+        """Record an invocation; returns ``(cold, flash_reload)``."""
+        last = self._last_invocation.get(function_name)
+        warm = last is not None and self.coldstart.is_warm(now - last)
+        flash_reload = False
+        if not warm:
+            self._evict_if_needed(now)
+            flash_reload = (
+                self.flash_parking and function_name in self._parked_on_flash
+            )
+        self._last_invocation[function_name] = now
+        self._parked_on_flash.discard(function_name)
+        return (not warm), flash_reload
+
+    def replay(
+        self, timeline: Sequence[Tuple[float, str]]
+    ) -> WarmPoolStats:
+        """Replay ``(time, function)`` events and tally cold starts."""
+        cold = 0
+        reloads = 0
+        previous_time: Optional[float] = None
+        for now, function_name in timeline:
+            if previous_time is not None and now < previous_time:
+                raise ConfigurationError("timeline must be time-ordered")
+            previous_time = now
+            was_cold, flash_reload = self.invoke(function_name, now)
+            cold += int(was_cold)
+            reloads += int(flash_reload)
+        return WarmPoolStats(
+            total_invocations=len(timeline),
+            cold_invocations=cold,
+            flash_reloads=reloads,
+        )

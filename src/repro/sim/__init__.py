@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel and stochastic latency primitives.
+
+This package is the substrate under both the at-scale cluster simulator
+(`repro.cluster`) and the storage/network latency models.  It provides:
+
+- :class:`~repro.sim.event_queue.EventQueue` — a stable priority queue of
+  timestamped events.
+- :class:`~repro.sim.simulator.Simulator` — a minimal discrete-event engine
+  with a virtual clock.
+- :mod:`repro.sim.distributions` — seeded latency distributions (lognormal
+  tails for remote storage, Poisson arrivals for traces).
+- :mod:`repro.sim.stats` — percentile/CDF helpers used by every experiment.
+"""
+
+from repro.sim.distributions import (
+    ConstantDistribution,
+    ExponentialDistribution,
+    LatencyDistribution,
+    LognormalDistribution,
+    ShiftedLognormal,
+    UniformDistribution,
+)
+from repro.sim.event_queue import Event, EventQueue
+from repro.sim.simulator import Simulator
+from repro.sim.stats import cdf_points, percentile, summarize
+
+__all__ = [
+    "ConstantDistribution",
+    "Event",
+    "EventQueue",
+    "ExponentialDistribution",
+    "LatencyDistribution",
+    "LognormalDistribution",
+    "ShiftedLognormal",
+    "Simulator",
+    "UniformDistribution",
+    "cdf_points",
+    "percentile",
+    "summarize",
+]

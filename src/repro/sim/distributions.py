@@ -1,0 +1,181 @@
+"""Seeded latency distributions.
+
+Remote-storage access in the paper (Fig. 3) shows a long lognormal-like
+tail: the gap between median and p99 read latency is ~110%.  The
+:class:`ShiftedLognormal` used by the network and storage models is
+parameterised directly by a target median and a target p99/median ratio so
+experiments can state their calibration in the paper's own terms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+# Standard-normal quantile for p99 (used to convert a p99/median ratio into
+# a lognormal sigma).
+_Z99 = 2.3263478740408408
+
+
+class LatencyDistribution:
+    """Interface: a non-negative random latency with an analytic median."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Vectorised sampling; subclasses may override for speed."""
+        return np.array([self.sample(rng) for _ in range(count)])
+
+    def median(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantDistribution(LatencyDistribution):
+    """A degenerate distribution: always ``value`` seconds."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ConfigurationError(f"negative constant latency: {self.value}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.full(count, self.value)
+
+    def median(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UniformDistribution(LatencyDistribution):
+    """Uniform latency on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ConfigurationError(
+                f"invalid uniform bounds: [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=count)
+
+    def median(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class ExponentialDistribution(LatencyDistribution):
+    """Exponential latency with the given mean."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ConfigurationError(f"non-positive exponential mean: {self.mean}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean))
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.exponential(self.mean, size=count)
+
+    def median(self) -> float:
+        return self.mean * math.log(2.0)
+
+
+@dataclass(frozen=True)
+class LognormalDistribution(LatencyDistribution):
+    """Lognormal latency parameterised by the underlying normal's mu/sigma."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ConfigurationError(f"negative lognormal sigma: {self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=count)
+
+    def median(self) -> float:
+        return math.exp(self.mu)
+
+
+@dataclass(frozen=True)
+class ShiftedLognormal(LatencyDistribution):
+    """Lognormal tail on top of a deterministic floor.
+
+    ``floor`` models the un-shrinkable part of an access (propagation,
+    serialisation); the lognormal term models queueing/tail variance.  The
+    distribution is constructed from a target *total* median and a target
+    p99/median ratio, matching how the paper reports storage tails.
+    """
+
+    floor: float
+    median_total: float
+    p99_over_median: float
+
+    def __post_init__(self) -> None:
+        if self.floor < 0:
+            raise ConfigurationError(f"negative floor: {self.floor}")
+        if self.median_total <= self.floor:
+            raise ConfigurationError(
+                f"median_total {self.median_total} must exceed floor {self.floor}"
+            )
+        if self.p99_over_median <= 1.0:
+            raise ConfigurationError(
+                f"p99/median ratio must exceed 1.0, got {self.p99_over_median}"
+            )
+
+    def _params(self) -> tuple[float, float]:
+        tail_median = self.median_total - self.floor
+        # For the tail term alone: p99/median = exp(sigma * z99); the target
+        # ratio applies to the total, so solve for sigma on the tail part.
+        total_p99 = self.p99_over_median * self.median_total
+        tail_p99 = total_p99 - self.floor
+        sigma = math.log(tail_p99 / tail_median) / _Z99
+        mu = math.log(tail_median)
+        return mu, sigma
+
+    def sample(self, rng: np.random.Generator) -> float:
+        mu, sigma = self._params()
+        return self.floor + float(rng.lognormal(mu, sigma))
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        mu, sigma = self._params()
+        return self.floor + rng.lognormal(mu, sigma, size=count)
+
+    def median(self) -> float:
+        return self.median_total
+
+    def p99(self) -> float:
+        """Analytic 99th percentile of the total latency."""
+        return self.p99_over_median * self.median_total
+
+    def scaled(self, factor: float) -> "ShiftedLognormal":
+        """Return a copy with floor and median scaled by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError(f"non-positive scale factor: {factor}")
+        return ShiftedLognormal(
+            floor=self.floor * factor,
+            median_total=self.median_total * factor,
+            p99_over_median=self.p99_over_median,
+        )

@@ -1,0 +1,85 @@
+"""A stable, timestamp-ordered event queue.
+
+Events that share a timestamp are delivered in insertion order, which keeps
+simulations deterministic regardless of dict/heap tie-breaking behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback with an activation time and a payload."""
+
+    time: float
+    action: Callable[..., Any]
+    payload: Any = None
+    label: str = ""
+
+    def fire(self) -> Any:
+        """Invoke the event's action with its payload."""
+        if self.payload is None:
+            return self.action()
+        return self.action(self.payload)
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    sequence: int
+    event: Event = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, insertion order)``."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> _Entry:
+        """Schedule ``event``; returns a handle usable with :meth:`cancel`."""
+        if event.time < 0:
+            raise SimulationError(f"event scheduled at negative time {event.time}")
+        entry = _Entry(event.time, next(self._counter), event)
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return entry
+
+    def cancel(self, entry: _Entry) -> None:
+        """Mark a previously pushed event as cancelled (lazy deletion)."""
+        if not entry.cancelled:
+            entry.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                self._live -= 1
+                return entry.event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the activation time of the earliest live event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,100 @@
+"""Minimal discrete-event simulation engine with a virtual clock."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event_queue import Event, EventQueue
+
+
+class Simulator:
+    """Drives an :class:`EventQueue` forward in virtual time.
+
+    The engine is deliberately small: components schedule callbacks with
+    :meth:`schedule` / :meth:`schedule_at`, and the owner calls :meth:`run`
+    (until quiescence or a horizon).  Time never moves backwards.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., Any],
+        payload: Any = None,
+        label: str = "",
+    ):
+        """Schedule ``action`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(Event(self._now + delay, action, payload, label))
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[..., Any],
+        payload: Any = None,
+        label: str = "",
+    ):
+        """Schedule ``action`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self._queue.push(Event(time, action, payload, label))
+
+    def cancel(self, handle) -> None:
+        """Cancel a scheduled event by its handle."""
+        self._queue.cancel(handle)
+
+    def step(self) -> Event:
+        """Execute the next event and advance the clock to it."""
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError(
+                f"time went backwards: {event.time} < {self._now}"
+            )
+        self._now = event.time
+        self._events_fired += 1
+        event.fire()
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the virtual time at which the run stopped.
+        """
+        fired = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self._now = until
+                return self._now
+            self.step()
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; possible event storm"
+                )
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

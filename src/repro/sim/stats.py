@@ -1,0 +1,77 @@
+"""Percentile/CDF helpers shared by every experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0..100) of ``samples``."""
+    if not 0 <= q <= 100:
+        raise ConfigurationError(f"percentile out of range: {q}")
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("percentile of empty sample set")
+    return float(np.percentile(arr, q))
+
+
+def cdf_points(samples: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted values, cumulative probabilities)`` for plotting a CDF."""
+    arr = np.sort(np.asarray(list(samples), dtype=float))
+    if arr.size == 0:
+        raise ConfigurationError("CDF of empty sample set")
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style latency summary used in experiment reports."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_row(self) -> dict[str, float]:
+        """Return the summary as a flat dict for tabular output."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` over ``samples``."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("summary of empty sample set")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; used for cross-benchmark speedup aggregation."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ConfigurationError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,37 @@
+"""Disaggregated storage substrate (paper §3, §5.2).
+
+Models the storage side of the system end to end:
+
+- :class:`~repro.storage.pcie.PCIeLink` — host/device and peer-to-peer
+  PCIe transfers with per-bit energy.
+- :class:`~repro.storage.flash.FlashArray` — NAND read/program latency
+  and channel-limited streaming bandwidth.
+- :class:`~repro.storage.drive.SSDDrive` /
+  :class:`~repro.storage.drive.DSCSDrive` — a conventional drive and the
+  paper's Domain-Specific Computational Storage Drive, which adds a DSA
+  plus DRAM staging buffer and a dedicated P2P path.
+- :class:`~repro.storage.object_store.ObjectStore` — an S3-like replicated
+  key-value store with chunking, storage classes, and DSCS-aware replica
+  placement.
+- :class:`~repro.storage.node.StorageNode` — a storage server holding
+  drives and serving remote RPC reads/writes.
+"""
+
+from repro.storage.drive import DSCSDrive, SSDDrive
+from repro.storage.flash import FlashArray
+from repro.storage.node import StorageNode
+from repro.storage.object_store import ObjectMeta, ObjectStore, StorageClass
+from repro.storage.pcie import PCIeLink
+from repro.storage.placement import PlacementPolicy
+
+__all__ = [
+    "DSCSDrive",
+    "FlashArray",
+    "ObjectMeta",
+    "ObjectStore",
+    "PCIeLink",
+    "PlacementPolicy",
+    "SSDDrive",
+    "StorageClass",
+    "StorageNode",
+]

@@ -1,0 +1,157 @@
+"""Storage drives: a conventional SSD and the DSCS-Drive (paper Fig. 5b).
+
+The DSCS-Drive houses a DSA next to the flash array with a small DRAM
+staging buffer; a dedicated PCIe peer-to-peer connection lets the DSA pull
+data from flash *without* crossing the host software stack — a single
+system call initiates the whole transfer (paper §3.1, step 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.accelerator.config import DSAConfig, SMARTSSD_POWER_BUDGET_WATTS
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.flash import FlashArray
+from repro.storage.pcie import PCIeLink
+from repro.units import GB, US
+
+_drive_ids = itertools.count()
+
+
+@dataclass
+class SSDDrive:
+    """A conventional NVMe SSD."""
+
+    capacity_bytes: int = 4 * 1024 * GB
+    flash: FlashArray = field(default_factory=FlashArray)
+    host_link: PCIeLink = field(default_factory=PCIeLink)
+    drive_id: int = field(default_factory=lambda: next(_drive_ids))
+    idle_power_watts: float = 5.0
+    active_power_watts: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(f"non-positive capacity: {self.capacity_bytes}")
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    def allocate(self, num_bytes: int) -> None:
+        """Reserve space for an object chunk."""
+        if num_bytes < 0:
+            raise StorageError(f"negative allocation: {num_bytes}")
+        if num_bytes > self.free_bytes:
+            raise StorageError(
+                f"drive {self.drive_id} full: need {num_bytes}, "
+                f"free {self.free_bytes}"
+            )
+        self._used_bytes += num_bytes
+
+    def release(self, num_bytes: int) -> None:
+        """Free previously allocated space."""
+        if num_bytes < 0 or num_bytes > self._used_bytes:
+            raise StorageError(
+                f"invalid release of {num_bytes} (used {self._used_bytes})"
+            )
+        self._used_bytes -= num_bytes
+
+    def host_read_seconds(self, num_bytes: int) -> float:
+        """Flash read + transfer to the host over PCIe."""
+        return self.flash.read_seconds(num_bytes) + self.host_link.transfer_seconds(
+            num_bytes
+        )
+
+    def host_write_seconds(self, num_bytes: int) -> float:
+        """Transfer from host + flash program."""
+        return self.host_link.transfer_seconds(num_bytes) + self.flash.write_seconds(
+            num_bytes
+        )
+
+    @property
+    def supports_acceleration(self) -> bool:
+        return False
+
+
+@dataclass
+class DSCSDrive(SSDDrive):
+    """Domain-Specific Computational Storage Drive.
+
+    Extends the SSD with an embedded DSA, a DRAM staging buffer, and a
+    dedicated flash<->DSA peer-to-peer PCIe path.  The accelerator is an
+    optional extra capability: the drive still serves all conventional
+    storage operations (paper §5.2, "Storage utilization").
+    """
+
+    dsa_config: Optional[DSAConfig] = None
+    p2p_link: PCIeLink = field(
+        default_factory=lambda: PCIeLink(name="pcie_p2p", setup_seconds=3 * US)
+    )
+    staging_dram_bytes: int = 4 * GB
+    power_budget_watts: float = SMARTSSD_POWER_BUDGET_WATTS
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.dsa_config is None:
+            from repro.accelerator.config import paper_design_point
+
+            self.dsa_config = paper_design_point()
+        if self.staging_dram_bytes <= 0:
+            raise ConfigurationError(
+                f"non-positive staging DRAM: {self.staging_dram_bytes}"
+            )
+        self._busy = False
+
+    @property
+    def supports_acceleration(self) -> bool:
+        return True
+
+    @property
+    def busy(self) -> bool:
+        """True while a function runs on the DSA (run-to-completion)."""
+        return self._busy
+
+    def mark_busy(self) -> None:
+        if self._busy:
+            raise StorageError(f"drive {self.drive_id} DSA already busy")
+        self._busy = True
+
+    def mark_idle(self) -> None:
+        self._busy = False
+
+    def p2p_read_seconds(self, num_bytes: int) -> float:
+        """Flash -> staging DRAM over the dedicated P2P path.
+
+        Bypasses the host software stack entirely; a single syscall from
+        the host initiates the DMA (charged by the driver model, not here).
+        """
+        if num_bytes < 0:
+            raise StorageError(f"negative P2P read: {num_bytes}")
+        if num_bytes > self.staging_dram_bytes:
+            raise StorageError(
+                f"P2P read of {num_bytes} exceeds staging DRAM "
+                f"{self.staging_dram_bytes}"
+            )
+        return self.flash.read_seconds(num_bytes) + self.p2p_link.transfer_seconds(
+            num_bytes
+        )
+
+    def p2p_write_seconds(self, num_bytes: int) -> float:
+        """Staging DRAM -> flash over the dedicated P2P path."""
+        if num_bytes < 0:
+            raise StorageError(f"negative P2P write: {num_bytes}")
+        return self.p2p_link.transfer_seconds(num_bytes) + self.flash.write_seconds(
+            num_bytes
+        )
+
+    def p2p_energy_j(self, num_bytes: int) -> float:
+        """PCIe energy of a P2P transfer."""
+        return self.p2p_link.transfer_energy_j(num_bytes)

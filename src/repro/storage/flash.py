@@ -1,0 +1,55 @@
+"""NAND flash array timing model.
+
+A multi-channel flash array behind an SSD controller: fixed page-access
+latency plus channel-striped streaming bandwidth.  Write (program) latency
+is higher than read, as on real NAND.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB_DEC, US
+
+
+@dataclass(frozen=True)
+class FlashArray:
+    """The flash side of a storage drive."""
+
+    channels: int = 8
+    read_access_seconds: float = 70 * US  # page read + ECC + FTL lookup
+    program_access_seconds: float = 200 * US  # page program
+    channel_bandwidth_bytes_per_s: float = 0.5 * GB_DEC
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ConfigurationError(f"non-positive channel count: {self.channels}")
+        if self.read_access_seconds < 0 or self.program_access_seconds < 0:
+            raise ConfigurationError("negative flash access latency")
+        if self.channel_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("non-positive flash channel bandwidth")
+
+    @property
+    def stream_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate sequential bandwidth across channels."""
+        return self.channels * self.channel_bandwidth_bytes_per_s
+
+    def read_seconds(self, num_bytes: int) -> float:
+        """Latency to read ``num_bytes`` sequentially."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"negative read size: {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.read_access_seconds + num_bytes / self.stream_bandwidth_bytes_per_s
+
+    def write_seconds(self, num_bytes: int) -> float:
+        """Latency to program ``num_bytes`` sequentially."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"negative write size: {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return (
+            self.program_access_seconds
+            + num_bytes / self.stream_bandwidth_bytes_per_s
+        )

@@ -1,0 +1,91 @@
+"""A storage server: drives behind an RPC front end.
+
+Serves remote reads/writes for traditional serverless functions (paper
+§2.1) and exposes whether it can accelerate functions in-storage.  The
+node's CPU is *not* consumed by in-storage acceleration beyond initiating
+the P2P transfer (paper §3) — this is what keeps DSCS from interfering
+with co-located storage tenants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.network.rpc import RPCStack
+from repro.storage.drive import DSCSDrive, SSDDrive
+
+_node_ids = itertools.count()
+
+
+@dataclass
+class StorageNode:
+    """One storage server in a disaggregated storage rack."""
+
+    drives: List[SSDDrive] = field(default_factory=lambda: [SSDDrive()])
+    rpc: RPCStack = field(default_factory=RPCStack)
+    node_id: int = field(default_factory=lambda: next(_node_ids))
+    cpu_idle_power_watts: float = 60.0
+    cpu_active_power_watts: float = 180.0
+
+    def __post_init__(self) -> None:
+        if not self.drives:
+            raise StorageError(f"storage node {self.node_id} has no drives")
+
+    @property
+    def accelerated_drives(self) -> List[DSCSDrive]:
+        """Drives on this node that embed a DSA."""
+        return [d for d in self.drives if isinstance(d, DSCSDrive)]
+
+    @property
+    def supports_acceleration(self) -> bool:
+        return bool(self.accelerated_drives)
+
+    def available_accelerated_drive(self) -> Optional[DSCSDrive]:
+        """An idle DSCS-Drive, or None if all are busy/absent."""
+        for drive in self.accelerated_drives:
+            if not drive.busy:
+                return drive
+        return None
+
+    def pick_drive(self, num_bytes: int, prefer_accelerated: bool) -> SSDDrive:
+        """Choose a drive with room for ``num_bytes``.
+
+        With ``prefer_accelerated``, DSCS-Drives are considered first so an
+        acceleratable object's replica lands next to a DSA (paper §5.2,
+        data placement).
+        """
+        candidates = list(self.drives)
+        if prefer_accelerated:
+            candidates.sort(key=lambda d: not d.supports_acceleration)
+        for drive in candidates:
+            if drive.free_bytes >= num_bytes:
+                return drive
+        raise StorageError(
+            f"storage node {self.node_id} cannot fit {num_bytes} bytes"
+        )
+
+    # --- remote (traditional) data path ---------------------------------
+    def remote_read_seconds(
+        self, drive: SSDDrive, num_bytes: int, rng: np.random.Generator
+    ) -> float:
+        """Full remote read: RPC stack + device I/O (paper §2.1)."""
+        return self.rpc.sample_request(num_bytes, rng) + drive.host_read_seconds(
+            num_bytes
+        )
+
+    def remote_write_seconds(
+        self, drive: SSDDrive, num_bytes: int, rng: np.random.Generator
+    ) -> float:
+        """Full remote write: RPC stack + device program."""
+        return self.rpc.sample_request(num_bytes, rng) + drive.host_write_seconds(
+            num_bytes
+        )
+
+    def median_remote_read_seconds(self, drive: SSDDrive, num_bytes: int) -> float:
+        """Analytic median of :meth:`remote_read_seconds`."""
+        return self.rpc.median_request(num_bytes) + drive.host_read_seconds(num_bytes)

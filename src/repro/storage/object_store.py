@@ -1,0 +1,191 @@
+"""S3-like replicated object store (paper §5.2).
+
+Objects are chunked (1–64 MB chunks, following GFS-style fixed-size
+chunking [108]), replicated across storage nodes, and classified into
+storage classes.  Serverless requests are small (<= 20 MB in AWS S3
+[109]), so a request's data is assumed to live on a single drive; the
+store flags the exceptional multi-drive case so the runtime can fall back
+to CPU execution or fan out across CSDs (paper §5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.drive import DSCSDrive, SSDDrive
+from repro.storage.node import StorageNode
+from repro.storage.placement import PlacementPolicy
+from repro.units import MB
+
+
+class StorageClass(enum.Enum):
+    """Data-temperature classes offered by cloud providers [107]."""
+
+    HOT = "hot"
+    COLD = "cold"
+    ARCHIVE = "archive"
+    DSCS = "dscs"  # the new class: replica adjacent to a DSA
+
+
+@dataclass
+class Replica:
+    """One replica of an object: which node/drive holds it."""
+
+    node: StorageNode
+    drive: SSDDrive
+
+    @property
+    def accelerated(self) -> bool:
+        return self.drive.supports_acceleration
+
+
+@dataclass
+class ObjectMeta:
+    """Metadata record for a stored object."""
+
+    key: str
+    size_bytes: int
+    storage_class: StorageClass
+    replicas: List[Replica] = field(default_factory=list)
+    chunk_bytes: int = 16 * MB
+
+    @property
+    def num_chunks(self) -> int:
+        return max(1, math.ceil(self.size_bytes / self.chunk_bytes))
+
+    @property
+    def single_drive(self) -> bool:
+        """True when the object fits one chunk (the common serverless case)."""
+        return self.num_chunks == 1
+
+    def accelerated_replica(self) -> Optional[Replica]:
+        """A replica co-located with a DSA, if any."""
+        for replica in self.replicas:
+            if replica.accelerated:
+                return replica
+        return None
+
+
+class ObjectStore:
+    """A disaggregated key-value object store over storage nodes."""
+
+    def __init__(
+        self,
+        nodes: Sequence[StorageNode],
+        placement: Optional[PlacementPolicy] = None,
+        chunk_bytes: int = 16 * MB,
+    ) -> None:
+        if not nodes:
+            raise StorageError("object store needs at least one node")
+        if not MB <= chunk_bytes <= 64 * MB:
+            raise StorageError(
+                f"chunk size must be within 1-64 MB, got {chunk_bytes} bytes"
+            )
+        self._nodes = list(nodes)
+        self._placement = placement or PlacementPolicy()
+        self._chunk_bytes = chunk_bytes
+        self._objects: Dict[str, ObjectMeta] = {}
+        self._put_counter = 0
+
+    @property
+    def nodes(self) -> List[StorageNode]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._objects
+
+    def put(
+        self,
+        key: str,
+        size_bytes: int,
+        acceleratable: bool = False,
+        storage_class: Optional[StorageClass] = None,
+    ) -> ObjectMeta:
+        """Store (metadata for) an object, replicating across nodes."""
+        if size_bytes <= 0:
+            raise StorageError(f"object {key!r} has non-positive size {size_bytes}")
+        if key in self._objects:
+            self.delete(key)
+
+        if storage_class is None:
+            storage_class = StorageClass.DSCS if acceleratable else StorageClass.HOT
+        replica_nodes = self._placement.place(
+            self._nodes, size_bytes, acceleratable, spread_hint=self._put_counter
+        )
+        self._put_counter += 1
+
+        replicas: List[Replica] = []
+        for index, node in enumerate(replica_nodes):
+            prefer_dsa = acceleratable and index == 0
+            drive = node.pick_drive(size_bytes, prefer_accelerated=prefer_dsa)
+            drive.allocate(size_bytes)
+            replicas.append(Replica(node=node, drive=drive))
+
+        meta = ObjectMeta(
+            key=key,
+            size_bytes=size_bytes,
+            storage_class=storage_class,
+            replicas=replicas,
+            chunk_bytes=self._chunk_bytes,
+        )
+        self._objects[key] = meta
+        return meta
+
+    def get_meta(self, key: str) -> ObjectMeta:
+        """Look up an object's metadata."""
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise StorageError(f"object {key!r} not found") from None
+
+    def delete(self, key: str) -> None:
+        """Remove an object and release its replicas."""
+        meta = self.get_meta(key)
+        for replica in meta.replicas:
+            replica.drive.release(meta.size_bytes)
+        del self._objects[key]
+
+    # --- data-path latency helpers --------------------------------------
+    def remote_read_seconds(self, key: str, rng: np.random.Generator) -> float:
+        """Traditional path: read the object from a replica over the network."""
+        meta = self.get_meta(key)
+        replica = meta.replicas[0]
+        return replica.node.remote_read_seconds(replica.drive, meta.size_bytes, rng)
+
+    def remote_write_seconds(
+        self, key: str, size_bytes: int, rng: np.random.Generator
+    ) -> float:
+        """Traditional path: write an output object over the network."""
+        if key in self._objects:
+            meta = self._objects[key]
+            replica = meta.replicas[0]
+        else:
+            meta = self.put(key, size_bytes)
+            replica = meta.replicas[0]
+        return replica.node.remote_write_seconds(replica.drive, size_bytes, rng)
+
+    def p2p_read_seconds(self, key: str) -> Tuple[float, DSCSDrive]:
+        """DSCS path: flash -> staging DRAM on the replica's own drive."""
+        meta = self.get_meta(key)
+        replica = meta.accelerated_replica()
+        if replica is None:
+            raise StorageError(
+                f"object {key!r} has no replica on a DSCS-Drive"
+            )
+        if not meta.single_drive:
+            raise StorageError(
+                f"object {key!r} spans {meta.num_chunks} chunks; "
+                "fall back to CPU or fan out across CSDs (paper §5.2)"
+            )
+        drive = replica.drive
+        assert isinstance(drive, DSCSDrive)
+        return drive.p2p_read_seconds(meta.size_bytes), drive

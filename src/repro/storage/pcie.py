@@ -1,0 +1,46 @@
+"""PCIe link model: latency, bandwidth, and per-bit energy.
+
+Both the host I/O path and the DSCS-Drive's internal peer-to-peer path are
+PCIe; the P2P path avoids the host software stack but pays the same wire
+costs.  Per-bit transfer energy follows the figure the paper takes from
+prior SoC work [123].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB_DEC, US
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A point-to-point PCIe connection."""
+
+    name: str = "pcie_gen3_x4"
+    bandwidth_bytes_per_s: float = 3.2 * GB_DEC  # effective gen3 x4
+    setup_seconds: float = 5 * US  # doorbell + DMA descriptor setup
+    energy_pj_per_bit: float = 4.4  # per-bit PCIe energy [123]
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(f"{self.name}: non-positive bandwidth")
+        if self.setup_seconds < 0:
+            raise ConfigurationError(f"{self.name}: negative setup latency")
+        if self.energy_pj_per_bit < 0:
+            raise ConfigurationError(f"{self.name}: negative energy")
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Latency to move ``num_bytes`` across the link."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"negative transfer size: {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.setup_seconds + num_bytes / self.bandwidth_bytes_per_s
+
+    def transfer_energy_j(self, num_bytes: int) -> float:
+        """Energy to move ``num_bytes`` across the link."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"negative transfer size: {num_bytes}")
+        return num_bytes * 8 * self.energy_pj_per_bit * 1e-12

@@ -1,0 +1,65 @@
+"""Replica placement policy (paper §5.2, "Data placement").
+
+The object store replicates every object across distinct nodes.  For
+objects tagged as belonging to an acceleratable function, one replica is
+mapped to a node with a DSCS-Drive — a new storage class — so the
+accelerator sits next to the data it will process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import StorageError
+from repro.storage.node import StorageNode
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Chooses replica nodes for a new object."""
+
+    replication_factor: int = 3
+
+    def __post_init__(self) -> None:
+        if self.replication_factor <= 0:
+            raise StorageError(
+                f"replication factor must be positive: {self.replication_factor}"
+            )
+
+    def place(
+        self,
+        nodes: Sequence[StorageNode],
+        num_bytes: int,
+        acceleratable: bool,
+        spread_hint: int = 0,
+    ) -> List[StorageNode]:
+        """Return the replica nodes for an object of ``num_bytes``.
+
+        ``spread_hint`` rotates the starting node so successive objects
+        spread across the rack.  When ``acceleratable``, the first replica
+        is forced onto a DSCS-capable node if one exists.
+        """
+        if not nodes:
+            raise StorageError("no storage nodes available")
+        count = min(self.replication_factor, len(nodes))
+        chosen: List[StorageNode] = []
+
+        if acceleratable:
+            capable = [n for n in nodes if n.supports_acceleration]
+            if capable:
+                chosen.append(capable[spread_hint % len(capable)])
+
+        start = spread_hint % len(nodes)
+        for offset in range(len(nodes)):
+            if len(chosen) >= count:
+                break
+            node = nodes[(start + offset) % len(nodes)]
+            if node not in chosen:
+                chosen.append(node)
+
+        if len(chosen) < count:
+            raise StorageError(
+                f"could not place {count} replicas across {len(nodes)} nodes"
+            )
+        return chosen

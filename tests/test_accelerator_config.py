@@ -1,0 +1,84 @@
+"""DSA configuration and memory-spec tests."""
+
+import pytest
+
+from repro.accelerator.config import (
+    DDR4,
+    DDR5,
+    HBM2,
+    DSAConfig,
+    MemorySpec,
+    paper_design_point,
+)
+from repro.errors import ConfigurationError
+from repro.units import GHZ, MB
+
+
+class TestMemorySpec:
+    def test_paper_bandwidths(self):
+        assert DDR4.bandwidth_bytes_per_s == pytest.approx(19.2e9)
+        assert DDR5.bandwidth_bytes_per_s == pytest.approx(38e9)
+        assert HBM2.bandwidth_bytes_per_s == pytest.approx(460e9)
+
+    def test_bytes_per_cycle(self):
+        assert DDR5.bytes_per_cycle(1e9) == pytest.approx(38.0)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec("bad", 0.0, 1.0, 1.0)
+
+
+class TestDSAConfig:
+    def test_paper_design_point(self):
+        config = paper_design_point()
+        assert config.pe_rows == 128
+        assert config.pe_cols == 128
+        assert config.buffer_bytes == 4 * MB
+        assert config.memory.name == "DDR5"
+        assert config.frequency_hz == 1 * GHZ
+
+    def test_num_pes(self):
+        assert DSAConfig(pe_rows=64, pe_cols=32).num_pes == 2048
+
+    def test_peak_tops(self):
+        config = paper_design_point()
+        # 128x128 MACs @ 1 GHz = 32.8 TOPS (2 ops per MAC).
+        assert config.peak_tops == pytest.approx(32.768, rel=0.01)
+
+    def test_lanes_default_to_cols(self):
+        assert DSAConfig(pe_rows=16, pe_cols=64).lanes == 64
+        assert DSAConfig(vector_lanes=256).lanes == 256
+
+    def test_buffer_partitioning_sums_to_total(self):
+        config = paper_design_point()
+        total = (
+            config.input_buffer_bytes
+            + config.weight_buffer_bytes
+            + config.output_buffer_bytes
+        )
+        assert total == pytest.approx(config.buffer_bytes, rel=0.01)
+
+    def test_cycles_to_seconds(self):
+        config = DSAConfig(frequency_hz=2e9)
+        assert config.cycles_to_seconds(2e9) == pytest.approx(1.0)
+
+    def test_cycles_to_seconds_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            paper_design_point().cycles_to_seconds(-1)
+
+    def test_label_format(self):
+        assert paper_design_point().label == "Dim128-4MB-DDR5"
+        rect = DSAConfig(pe_rows=64, pe_cols=128, buffer_bytes=2 * MB)
+        assert rect.label == "Dim64x128-2MB-DDR5"
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            DSAConfig(pe_rows=0)
+
+    def test_rejects_unknown_tech_node(self):
+        with pytest.raises(ConfigurationError):
+            DSAConfig(tech_node_nm=28)
+
+    def test_rejects_non_positive_buffer(self):
+        with pytest.raises(ConfigurationError):
+            DSAConfig(buffer_bytes=0)

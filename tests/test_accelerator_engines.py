@@ -1,0 +1,138 @@
+"""MPU/VPU timing models and the ISA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.isa import (
+    GemmTile,
+    Halt,
+    LoadTile,
+    MemorySpace,
+    Program,
+    StoreTile,
+    VectorOp,
+)
+from repro.accelerator.mpu import MatrixProcessingUnit
+from repro.accelerator.vpu import VectorProcessingUnit
+from repro.errors import CompilationError, SimulationError
+
+
+def config(rows=128, cols=128):
+    return DSAConfig(pe_rows=rows, pe_cols=cols)
+
+
+class TestMPU:
+    def test_tile_cycles_components(self):
+        mpu = MatrixProcessingUnit(config())
+        timing = mpu.tile_timing(GemmTile("op", m=64, n=128, k=128))
+        assert timing.load_cycles == 128
+        assert timing.stream_cycles == 64
+        assert timing.drain_cycles == 256
+        assert timing.total == 448
+
+    def test_partial_tile_loads_fewer_rows(self):
+        mpu = MatrixProcessingUnit(config())
+        timing = mpu.tile_timing(GemmTile("op", m=4, n=16, k=32))
+        assert timing.load_cycles == 32
+
+    def test_drain_paid_on_physical_geometry(self):
+        small = MatrixProcessingUnit(config(32, 32))
+        large = MatrixProcessingUnit(config(1024, 1024))
+        tile = GemmTile("op", m=8, n=16, k=16)
+        # The large array's pipeline depth dominates tiny tiles.
+        assert large.tile_cycles(tile) > small.tile_cycles(tile)
+
+    def test_oversized_tile_rejected(self):
+        mpu = MatrixProcessingUnit(config(64, 64))
+        with pytest.raises(SimulationError):
+            mpu.tile_cycles(GemmTile("op", m=1, n=65, k=1))
+
+    def test_utilization_bounded(self):
+        mpu = MatrixProcessingUnit(config())
+        util = mpu.utilization(GemmTile("op", m=1024, n=128, k=128))
+        assert 0 < util <= 1.0
+
+    def test_utilization_improves_with_m(self):
+        mpu = MatrixProcessingUnit(config())
+        low = mpu.utilization(GemmTile("op", m=1, n=128, k=128))
+        high = mpu.utilization(GemmTile("op", m=4096, n=128, k=128))
+        assert high > low
+
+
+class TestVPU:
+    def test_cycles_scale_with_elements(self):
+        vpu = VectorProcessingUnit(config())
+        short = vpu.op_cycles(VectorOp("v", elements=128, cost_per_element=1))
+        long = vpu.op_cycles(VectorOp("v", elements=128 * 100, cost_per_element=1))
+        assert long > short
+
+    def test_lane_parallelism(self):
+        narrow = VectorProcessingUnit(DSAConfig(vector_lanes=32))
+        wide = VectorProcessingUnit(DSAConfig(vector_lanes=256))
+        op = VectorOp("v", elements=100_000, cost_per_element=1)
+        assert narrow.op_cycles(op) > wide.op_cycles(op)
+
+    def test_cost_per_element_multiplies(self):
+        vpu = VectorProcessingUnit(config())
+        cheap = vpu.op_cycles(VectorOp("v", elements=10_000, cost_per_element=1))
+        pricey = vpu.op_cycles(VectorOp("v", elements=10_000, cost_per_element=8))
+        assert pricey > 4 * cheap / 2
+
+    def test_empty_op_costs_only_overhead(self):
+        vpu = VectorProcessingUnit(config())
+        assert vpu.op_cycles(VectorOp("v", elements=0)) > 0
+
+
+class TestISA:
+    def test_program_validate_requires_halt(self):
+        program = Program("m", [GemmTile("g", m=1, n=1, k=1)])
+        with pytest.raises(CompilationError):
+            program.validate()
+
+    def test_program_validate_rejects_mid_halt(self):
+        program = Program("m", [Halt("h"), GemmTile("g", m=1, n=1, k=1)])
+        with pytest.raises(CompilationError):
+            program.validate()
+
+    def test_program_totals(self):
+        program = Program(
+            "m",
+            [
+                LoadTile("g", num_bytes=100),
+                GemmTile("g", m=2, n=3, k=4),
+                VectorOp("v", elements=10, cost_per_element=2),
+                StoreTile("g", num_bytes=50),
+                Halt("h"),
+            ],
+        )
+        macs, vec, dma = program.totals()
+        assert macs == 24
+        assert vec == 20
+        assert dma == 150
+
+    def test_load_tile_rejects_dram_destination(self):
+        with pytest.raises(CompilationError):
+            LoadTile("g", num_bytes=8, destination=MemorySpace.DRAM)
+
+    def test_gemm_tile_rejects_zero_dims(self):
+        with pytest.raises(CompilationError):
+            GemmTile("g", m=0, n=1, k=1)
+
+    def test_vector_op_rejects_zero_cost(self):
+        with pytest.raises(CompilationError):
+            VectorOp("v", elements=1, cost_per_element=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=4096),
+    n=st.integers(min_value=1, max_value=128),
+    k=st.integers(min_value=1, max_value=128),
+)
+def test_mpu_cycles_always_cover_streaming(m, n, k):
+    mpu = MatrixProcessingUnit(config())
+    cycles = mpu.tile_cycles(GemmTile("op", m=m, n=n, k=k))
+    assert cycles >= m  # at least one cycle per activation row
+    assert cycles >= k  # at least one cycle per weight row

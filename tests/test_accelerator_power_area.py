@@ -1,0 +1,125 @@
+"""Power, area, and technology-scaling models."""
+
+import pytest
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.power import PowerModel
+from repro.accelerator.scaling import TechNode, scale_area, scale_energy, scale_power
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+class TestScaling:
+    def test_45nm_is_identity(self):
+        assert scale_area(100.0, 45) == 100.0
+        assert scale_power(10.0, 45) == 10.0
+
+    def test_14nm_shrinks_area_about_10x(self):
+        assert scale_area(100.0, 14) == pytest.approx(10.5, rel=0.01)
+
+    def test_14nm_power_scaling(self):
+        assert scale_power(10.0, 14) == pytest.approx(3.0, rel=0.01)
+
+    def test_energy_scales_like_power(self):
+        assert scale_energy(1.0, 14) == scale_power(1.0, 14)
+
+    def test_monotonic_across_nodes(self):
+        areas = [scale_area(100.0, node.nm) for node in TechNode]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_area(1.0, 28)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_power(-1.0, 14)
+
+
+class TestArea:
+    def test_area_grows_with_pes(self):
+        small = AreaModel(DSAConfig(pe_rows=32, pe_cols=32)).total_mm2()
+        large = AreaModel(DSAConfig(pe_rows=256, pe_cols=256)).total_mm2()
+        assert large > 10 * small
+
+    def test_area_grows_with_buffer(self):
+        small = AreaModel(DSAConfig(buffer_bytes=1 * MB)).total_mm2()
+        large = AreaModel(DSAConfig(buffer_bytes=32 * MB)).total_mm2()
+        assert large > small
+
+    def test_paper_point_in_plausible_band(self):
+        # Fig. 8 places Dim128-4MB low on the frontier (order 100s of mm^2
+        # at 45 nm).
+        area = AreaModel(DSAConfig()).total_mm2()
+        assert 50 < area < 400
+
+    def test_1024_array_reaches_thousands_mm2(self):
+        area = AreaModel(
+            DSAConfig(pe_rows=1024, pe_cols=1024, buffer_bytes=32 * MB)
+        ).total_mm2()
+        assert area > 3000  # Fig. 8 tops out near 8000 mm^2
+
+    def test_breakdown_sums_to_total(self):
+        model = AreaModel(DSAConfig())
+        breakdown = model.breakdown()
+        assert breakdown.total_mm2 == pytest.approx(
+            breakdown.mpu_mm2
+            + breakdown.vpu_mm2
+            + breakdown.sram_mm2
+            + breakdown.overhead_mm2
+        )
+
+    def test_tech_scaling_applied(self):
+        at_45 = AreaModel(DSAConfig(tech_node_nm=45)).total_mm2()
+        at_14 = AreaModel(DSAConfig(tech_node_nm=14)).total_mm2()
+        assert at_14 == pytest.approx(0.105 * at_45, rel=0.01)
+
+
+class TestPower:
+    def test_sram_energy_grows_with_capacity(self):
+        small = PowerModel(DSAConfig(buffer_bytes=1 * MB)).sram_pj_per_byte()
+        large = PowerModel(DSAConfig(buffer_bytes=16 * MB)).sram_pj_per_byte()
+        assert large > small
+
+    def test_leakage_scales_with_area(self):
+        small = PowerModel(DSAConfig(pe_rows=32, pe_cols=32)).leakage_watts()
+        large = PowerModel(DSAConfig(pe_rows=512, pe_cols=512)).leakage_watts()
+        assert large > small
+
+    def test_leakage_drops_at_14nm(self):
+        at_45 = PowerModel(DSAConfig(tech_node_nm=45)).leakage_watts()
+        at_14 = PowerModel(DSAConfig(tech_node_nm=14)).leakage_watts()
+        assert at_14 < at_45
+
+    def test_execution_energy_components_positive(self):
+        model = PowerModel(DSAConfig())
+        breakdown = model.execution_energy(
+            macs=10**9,
+            vector_element_ops=10**7,
+            dram_bytes=10**7,
+            sram_bytes=10**7,
+            latency_s=1e-3,
+        )
+        assert breakdown.mac_j > 0
+        assert breakdown.dram_j > 0
+        assert breakdown.total_j > breakdown.mac_j
+
+    def test_dram_energy_does_not_scale_with_node(self):
+        kwargs = dict(
+            macs=0, vector_element_ops=0, dram_bytes=10**8, sram_bytes=0,
+            latency_s=1e-3,
+        )
+        at_45 = PowerModel(DSAConfig(tech_node_nm=45)).execution_energy(**kwargs)
+        at_14 = PowerModel(DSAConfig(tech_node_nm=14)).execution_energy(**kwargs)
+        assert at_45.dram_j == pytest.approx(at_14.dram_j)
+
+    def test_average_power_includes_leakage(self):
+        model = PowerModel(DSAConfig())
+        breakdown = model.execution_energy(
+            macs=10**8, vector_element_ops=0, dram_bytes=0, sram_bytes=0,
+            latency_s=1e-3,
+        )
+        avg = model.average_power_watts(breakdown, 1e-3)
+        dyn = model.dynamic_power_watts(breakdown, 1e-3)
+        assert avg > dyn

@@ -1,0 +1,152 @@
+"""Cycle-simulator semantics: overlap, barriers, energy accounting."""
+
+import pytest
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.isa import (
+    GemmTile,
+    Halt,
+    LoadTile,
+    Program,
+    StoreTile,
+    Sync,
+    VectorOp,
+)
+from repro.accelerator.simulator import CycleSimulator
+
+
+def simulator():
+    return CycleSimulator(DSAConfig())
+
+
+def program(instructions, name="test"):
+    return Program(name, list(instructions) + [Halt("end")])
+
+
+def test_compute_waits_for_its_load():
+    sim = simulator()
+    report = sim.run(
+        program([LoadTile("op", num_bytes=38_000), GemmTile("op", m=1, n=1, k=1)])
+    )
+    # 38 kB at 38 B/cycle = 1000 cycles of DMA before compute can start.
+    assert report.cycles >= 1000
+
+
+def test_dma_overlaps_with_prior_compute():
+    sim = simulator()
+    load = LoadTile("op", num_bytes=38_000)  # 1000 cycles
+    big_gemm = GemmTile("op", m=4096, n=128, k=128)  # >4000 cycles
+    serial = sim.run(program([load, big_gemm, Sync("s"), load, big_gemm]))
+    pipelined = sim.run(program([load, big_gemm, load, big_gemm]))
+    assert pipelined.cycles < serial.cycles
+
+
+def test_sync_forces_barrier():
+    sim = simulator()
+    instrs = [LoadTile("op", num_bytes=38_000), GemmTile("op", m=128, n=128, k=128)]
+    with_sync = sim.run(program(instrs + [Sync("s")] + instrs))
+    assert with_sync.cycles > 0
+
+
+def test_store_waits_for_compute():
+    sim = simulator()
+    report = sim.run(
+        program(
+            [
+                GemmTile("op", m=4096, n=128, k=128),
+                StoreTile("op", num_bytes=38),
+            ]
+        )
+    )
+    gemm_only = sim.run(program([GemmTile("op", m=4096, n=128, k=128)]))
+    assert report.cycles > gemm_only.cycles
+
+
+def test_fused_vector_op_skips_dma_wait():
+    sim = simulator()
+    load = LoadTile("op", num_bytes=380_000)  # 10k cycles of DMA
+    gemm = GemmTile("op", m=1, n=1, k=1)
+    fused = sim.run(
+        program([gemm, load, VectorOp("v", elements=128, fused=True)])
+    )
+    unfused = sim.run(
+        program([gemm, load, VectorOp("v", elements=128, fused=False)])
+    )
+    assert fused.compute_cycles == unfused.compute_cycles
+    # The unfused op waits on the big DMA; the fused one does not, so the
+    # fused program's critical path is just the DMA stream.
+    assert fused.cycles <= unfused.cycles
+
+
+def test_energy_positive_and_composed():
+    sim = simulator()
+    report = sim.run(
+        program(
+            [
+                LoadTile("op", num_bytes=1_000_000),
+                GemmTile("op", m=512, n=128, k=128),
+                StoreTile("op", num_bytes=10_000),
+            ]
+        )
+    )
+    assert report.energy_j > 0
+    assert report.energy.dram_j > 0
+    assert report.energy.mac_j > 0
+    assert report.energy.leakage_j > 0
+
+
+def test_report_totals_match_program():
+    sim = simulator()
+    prog = program(
+        [
+            LoadTile("op", num_bytes=100),
+            GemmTile("op", m=2, n=3, k=4),
+            VectorOp("v", elements=7, cost_per_element=3),
+            StoreTile("op", num_bytes=50),
+        ]
+    )
+    report = sim.run(prog)
+    assert report.total_macs == 24
+    assert report.total_vector_ops == 21
+    assert report.dram_bytes == 150
+
+
+def test_per_op_cycles_recorded():
+    sim = simulator()
+    report = sim.run(
+        program([GemmTile("conv1", m=16, n=16, k=16),
+                 VectorOp("relu1", elements=256)])
+    )
+    assert "conv1" in report.per_op_cycles
+    assert "relu1" in report.per_op_cycles
+    assert report.per_op_cycles["conv1"] > 0
+
+
+def test_empty_program_rejected():
+    sim = simulator()
+    from repro.errors import CompilationError
+
+    with pytest.raises(CompilationError):
+        sim.run(Program("empty", []))
+
+
+def test_latency_consistent_with_cycles():
+    sim = simulator()
+    report = sim.run(program([GemmTile("op", m=128, n=128, k=128)]))
+    assert report.latency_s == pytest.approx(report.cycles / 1e9)
+
+
+def test_utilization_in_unit_interval():
+    sim = simulator()
+    report = sim.run(program([GemmTile("op", m=2048, n=128, k=128)]))
+    assert 0 < report.mpu_utilization <= 1.0
+
+
+def test_higher_bandwidth_reduces_dma_bound_latency():
+    from repro.accelerator.config import DDR4, HBM2
+
+    slow = CycleSimulator(DSAConfig(memory=DDR4))
+    fast = CycleSimulator(DSAConfig(memory=HBM2))
+    prog = program([LoadTile("op", num_bytes=50_000_000),
+                    GemmTile("op", m=1, n=1, k=1)])
+    assert fast.run(prog).cycles < slow.run(prog).cycles

@@ -1,0 +1,116 @@
+"""Pareto extraction and the cost-efficiency model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cost import CostModel, SystemCost, system_cost_for
+from repro.analysis.pareto import DesignPoint2D, pareto_front, pareto_front_points
+from repro.errors import ConfigurationError
+from repro.platforms.registry import baseline_cpu, dscs_dsa, ns_arm
+
+
+class TestPareto:
+    def test_dominated_point_excluded(self):
+        points = [(10.0, 5.0), (8.0, 6.0), (12.0, 4.0)]
+        front = pareto_front(points)
+        assert 1 not in front  # dominated by both others
+        assert 2 in front
+
+    def test_all_points_on_diagonal_kept(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        assert pareto_front(points) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)]) == [0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front([])
+
+    def test_design_point_wrapper(self):
+        points = [
+            DesignPoint2D("a", 10.0, 5.0),
+            DesignPoint2D("b", 8.0, 6.0),
+        ]
+        front = pareto_front_points(points)
+        assert [p.label for p in front] == ["a"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_no_front_point_dominated(self, points):
+        front = pareto_front(points)
+        for i in front:
+            for j in range(len(points)):
+                if i == j:
+                    continue
+                strictly_better = (
+                    points[j][0] >= points[i][0]
+                    and points[j][1] <= points[i][1]
+                    and points[j] != points[i]
+                )
+                if strictly_better:
+                    # j dominates i; i must not be on the front unless j is
+                    # an exact duplicate in one axis kept by tie-breaking.
+                    assert (
+                        points[j][0] == points[i][0]
+                        or points[j][1] == points[i][1]
+                    )
+
+
+class TestCostModel:
+    def test_opex_scales_with_power(self):
+        model = CostModel()
+        assert model.opex_usd(200.0) == pytest.approx(2 * model.opex_usd(100.0))
+
+    def test_three_year_opex_magnitude(self):
+        # 300 W at 30% utilisation for 3 years, PUE 1.5 -> a few hundred $.
+        opex = CostModel().opex_usd(300.0)
+        assert 200 < opex < 700
+
+    def test_cost_efficiency_prefers_fast_cheap(self):
+        model = CostModel()
+        cheap = SystemCost("cheap", capex_usd=5000, average_power_watts=100)
+        pricey = SystemCost("pricey", capex_usd=20000, average_power_watts=400)
+        assert model.cost_efficiency(10.0, cheap) > model.cost_efficiency(10.0, pricey)
+
+    def test_cost_efficiency_scales_with_throughput(self):
+        model = CostModel()
+        system = SystemCost("s", capex_usd=5000, average_power_watts=100)
+        assert model.cost_efficiency(20.0, system) == pytest.approx(
+            2 * model.cost_efficiency(10.0, system)
+        )
+
+    def test_system_cost_traditional_includes_storage_tier(self):
+        cost = system_cost_for(baseline_cpu())
+        assert cost.capex_usd > baseline_cpu().capex_usd
+
+    def test_system_cost_dscs_keeps_compute_server(self):
+        dscs_cost = system_cost_for(dscs_dsa())
+        # DSCS does not eliminate the compute tier (f3 runs there).
+        assert dscs_cost.capex_usd > 6500
+
+    def test_ns_systems_comparable_capex_to_baseline(self):
+        base = system_cost_for(baseline_cpu()).capex_usd
+        arm = system_cost_for(ns_arm()).capex_usd
+        assert arm == pytest.approx(base, rel=0.25)
+
+    def test_invalid_inputs_rejected(self):
+        model = CostModel()
+        with pytest.raises(ConfigurationError):
+            model.opex_usd(-1)
+        with pytest.raises(ConfigurationError):
+            model.cost_efficiency(0.0, SystemCost("s", 1000, 100))
+        with pytest.raises(ConfigurationError):
+            CostModel(utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            SystemCost("s", 0, 100)

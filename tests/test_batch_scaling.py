@@ -1,0 +1,78 @@
+"""Batch-scaling behaviour of the DSA and the analytical platforms.
+
+The weight-reuse effect behind Fig. 14: batching multiplies activations
+but not weights, so DMA-bound models approach compute-bound as batch
+grows on the DSA, while CPU-style platforms saturate at their batching
+efficiency ceiling.
+"""
+
+import pytest
+
+from repro.accelerator.config import paper_design_point
+from repro.compiler import compile_graph
+from repro.models.zoo import gpt2_decoder, resnet50
+from repro.platforms.registry import baseline_cpu, dscs_dsa
+
+
+@pytest.fixture(scope="module")
+def llm():
+    return gpt2_decoder(seq=64, dim=768, layers=4, heads=12)
+
+
+class TestDSABatching:
+    def test_weight_traffic_amortised(self, llm):
+        config = paper_design_point()
+        single = compile_graph(llm, config).simulate()
+        batched = compile_graph(llm.with_batch(8), config).simulate()
+        # DRAM bytes grow sublinearly: weights stream once per batch.
+        assert batched.dram_bytes < 8 * single.dram_bytes
+        assert batched.dram_bytes > single.dram_bytes
+
+    def test_per_sample_latency_improves(self, llm):
+        config = paper_design_point()
+        single = compile_graph(llm, config).simulate().latency_s
+        batched = compile_graph(llm.with_batch(16), config).simulate().latency_s
+        assert batched / 16 < single
+
+    def test_utilization_improves_with_batch(self, llm):
+        config = paper_design_point()
+        single = compile_graph(llm, config).simulate()
+        batched = compile_graph(llm.with_batch(16), config).simulate()
+        assert batched.mpu_utilization > single.mpu_utilization
+
+    def test_macs_scale_linearly(self, llm):
+        config = paper_design_point()
+        single = compile_graph(llm, config).simulate()
+        batched = compile_graph(llm.with_batch(4), config).simulate()
+        assert batched.total_macs == 4 * single.total_macs
+
+
+class TestPlatformBatching:
+    def test_dsa_stays_far_ahead_of_cpu_at_every_batch(self, llm):
+        dsa = dscs_dsa()
+        cpu = baseline_cpu()
+        for batch in (1, 8, 32):
+            dsa_per_sample = dsa.compute_latency_seconds(llm, batch=batch) / batch
+            cpu_per_sample = cpu.compute_latency_seconds(llm, batch=batch) / batch
+            assert dsa_per_sample < cpu_per_sample / 5
+
+    def test_dsa_batching_amortises_weight_stream(self, llm):
+        dsa = dscs_dsa()
+        single = dsa.compute_latency_seconds(llm, batch=1)
+        per_sample_at_8 = dsa.compute_latency_seconds(llm, batch=8) / 8
+        assert per_sample_at_8 < single / 2
+
+    def test_cpu_gain_bounded_by_max_batch_speedup(self):
+        cpu = baseline_cpu()
+        graph = resnet50()
+        gain = cpu.compute_latency_seconds(graph) / (
+            cpu.compute_latency_seconds(graph, batch=64) / 64
+        )
+        assert gain <= cpu.max_batch_speedup + 0.01
+
+    def test_batch_one_is_reference(self):
+        cpu = baseline_cpu()
+        graph = resnet50()
+        assert cpu.compute_latency_seconds(graph, batch=1) == pytest.approx(
+            cpu.compute_latency_seconds(graph)
+        )

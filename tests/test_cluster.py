@@ -1,0 +1,127 @@
+"""Trace generation and the rack-scale discrete-event simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import RackSimulation
+from repro.cluster.trace import TraceGenerator
+from repro.core.model import ServerlessExecutionModel
+from repro.errors import ConfigurationError
+from repro.experiments.benchmarks import benchmark_suite
+from repro.platforms.registry import baseline_cpu, dscs_dsa
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return benchmark_suite()
+
+
+def small_trace(suite, scale=0.02, seed=1):
+    generator = TraceGenerator(
+        list(suite),
+        rate_envelope=tuple(r * scale for r in (250, 800, 250)),
+        segment_seconds=20.0,
+    )
+    return generator.generate(np.random.default_rng(seed))
+
+
+class TestTrace:
+    def test_arrivals_sorted_and_within_duration(self, suite):
+        trace = small_trace(suite)
+        assert np.all(np.diff(trace.arrival_seconds) >= 0)
+        assert trace.arrival_seconds.max() <= trace.duration_seconds
+
+    def test_apps_drawn_from_suite(self, suite):
+        trace = small_trace(suite)
+        assert set(trace.app_names) <= set(suite)
+
+    def test_poisson_counts_track_envelope(self, suite):
+        generator = TraceGenerator(
+            list(suite), rate_envelope=(100.0, 400.0), segment_seconds=30.0
+        )
+        trace = generator.generate(np.random.default_rng(0))
+        first = np.sum(trace.arrival_seconds < 30.0)
+        second = np.sum(trace.arrival_seconds >= 30.0)
+        assert second > 2 * first
+
+    def test_requests_per_second_series(self, suite):
+        trace = small_trace(suite)
+        rps = trace.requests_per_second(1.0)
+        assert len(rps) == int(trace.duration_seconds)
+        assert rps.sum() == pytest.approx(len(trace))
+
+    def test_deterministic_for_seed(self, suite):
+        a = small_trace(suite, seed=5)
+        b = small_trace(suite, seed=5)
+        assert np.array_equal(a.arrival_seconds, b.arrival_seconds)
+        assert a.app_names == b.app_names
+
+    def test_empty_envelope_rejected(self, suite):
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(list(suite), rate_envelope=())
+
+    def test_negative_rate_rejected(self, suite):
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(list(suite), rate_envelope=(-1.0,))
+
+
+class TestRackSimulation:
+    def test_all_requests_complete_with_headroom(self, suite):
+        model = ServerlessExecutionModel(platform=dscs_dsa())
+        sim = RackSimulation(model, suite, max_instances=50)
+        trace = small_trace(suite)
+        series = sim.run(trace)
+        assert len(series.completed_latency_seconds) == len(trace)
+        assert series.dropped_requests == 0
+
+    def test_saturation_builds_queue(self, suite):
+        model = ServerlessExecutionModel(platform=baseline_cpu())
+        sim = RackSimulation(model, suite, max_instances=2)
+        trace = small_trace(suite)
+        series = sim.run(trace)
+        assert series.queue_depth.max() > 0
+        # Queueing inflates latency beyond pure service time.
+        assert series.mean_latency_seconds > 0.2
+
+    def test_queue_depth_bounded_and_drops_counted(self, suite):
+        model = ServerlessExecutionModel(platform=baseline_cpu())
+        sim = RackSimulation(model, suite, max_instances=1, queue_depth=5)
+        trace = small_trace(suite)
+        series = sim.run(trace)
+        assert series.queue_depth.max() <= 5
+        assert series.dropped_requests > 0
+        completed_plus_dropped = (
+            len(series.completed_latency_seconds) + series.dropped_requests
+        )
+        assert completed_plus_dropped == len(trace)
+
+    def test_dscs_outperforms_baseline_at_scale(self, suite):
+        trace = small_trace(suite, scale=0.05)
+        base_series = RackSimulation(
+            ServerlessExecutionModel(platform=baseline_cpu()), suite, max_instances=10
+        ).run(trace)
+        dscs_series = RackSimulation(
+            ServerlessExecutionModel(platform=dscs_dsa()), suite, max_instances=10
+        ).run(trace)
+        assert dscs_series.mean_latency_seconds < base_series.mean_latency_seconds
+        assert dscs_series.queue_depth.max() <= base_series.queue_depth.max()
+
+    def test_latency_buckets(self, suite):
+        model = ServerlessExecutionModel(platform=dscs_dsa())
+        sim = RackSimulation(model, suite, max_instances=50)
+        series = sim.run(small_trace(suite))
+        buckets = series.mean_latency_per_bucket(20.0)
+        assert len(buckets) >= 3
+
+    def test_busy_never_exceeds_instances(self, suite):
+        model = ServerlessExecutionModel(platform=baseline_cpu())
+        sim = RackSimulation(model, suite, max_instances=4)
+        series = sim.run(small_trace(suite))
+        assert series.busy_instances.max() <= 4
+
+    def test_invalid_configs_rejected(self, suite):
+        model = ServerlessExecutionModel(platform=baseline_cpu())
+        with pytest.raises(ConfigurationError):
+            RackSimulation(model, suite, max_instances=0)
+        with pytest.raises(ConfigurationError):
+            RackSimulation(model, suite, queue_depth=0)

@@ -1,0 +1,100 @@
+"""Independent verification of compiled programs."""
+
+import pytest
+
+from repro.accelerator.config import DSAConfig, paper_design_point
+from repro.accelerator.isa import GemmTile, Halt, LoadTile, Program
+from repro.compiler import compile_graph
+from repro.compiler.codegen import generate
+from repro.compiler.verify import verify_program
+from repro.errors import CompilationError
+from repro.models.builder import GraphBuilder
+from repro.models.tensor import DType, TensorSpec
+from repro.models.zoo import gpt2_decoder, image_preprocess, resnet50, vit
+
+
+def simple_graph():
+    builder = GraphBuilder("simple", TensorSpec("x", (32, 64), DType.INT8))
+    builder.linear(48).relu().linear(16).softmax()
+    return builder.build()
+
+
+@pytest.mark.parametrize(
+    "graph_builder",
+    [
+        simple_graph,
+        resnet50,
+        lambda: gpt2_decoder(seq=64, dim=768, layers=4, heads=12),
+        lambda: vit(dim=384, layers=4, heads=6),
+        lambda: image_preprocess(224),
+    ],
+)
+def test_generated_programs_verify_clean(graph_builder):
+    graph = graph_builder()
+    config = paper_design_point()
+    report = verify_program(graph, generate(graph, config), config)
+    assert report.ok, report.problems
+    assert "mac_conservation" in report.checks_passed
+    assert "traffic_floor" in report.checks_passed
+    assert "load_before_compute" in report.checks_passed
+
+
+def test_verification_across_design_points():
+    graph = simple_graph()
+    for dims in ((16, 16), (64, 32), (256, 256)):
+        config = DSAConfig(pe_rows=dims[0], pe_cols=dims[1])
+        report = verify_program(graph, generate(graph, config), config)
+        assert report.ok, (dims, report.problems)
+
+
+def test_detects_mac_loss():
+    graph = simple_graph()
+    config = paper_design_point()
+    program = generate(graph, config)
+    truncated = Program(
+        graph.name,
+        [i for i in program if not isinstance(i, GemmTile)],
+    )
+    report = verify_program(graph, truncated, config)
+    assert not report.ok
+    assert any("MACs" in problem for problem in report.problems)
+
+
+def test_detects_compute_before_load():
+    graph = simple_graph()
+    config = paper_design_point()
+    rogue = Program(
+        graph.name,
+        [GemmTile("orphan", m=1, n=1, k=1), Halt("end")],
+    )
+    report = verify_program(graph, rogue, config)
+    assert any("before any load" in problem for problem in report.problems)
+
+
+def test_detects_oversized_tiles():
+    graph = simple_graph()
+    small = DSAConfig(pe_rows=8, pe_cols=8)
+    big_tile_program = Program(
+        graph.name,
+        [
+            LoadTile("op", num_bytes=1024),
+            GemmTile("op", m=1, n=16, k=16),
+            Halt("end"),
+        ],
+    )
+    report = verify_program(graph, big_tile_program, small)
+    assert any("exceed the array" in problem for problem in report.problems)
+
+
+def test_require_ok_raises_with_context():
+    graph = simple_graph()
+    config = paper_design_point()
+    bad = Program(graph.name, [Halt("end")])
+    report = verify_program(graph, bad, config)
+    with pytest.raises(CompilationError):
+        report.require_ok()
+
+
+def test_compile_graph_verify_flag():
+    exe = compile_graph(simple_graph(), paper_design_point(), verify=True)
+    assert exe.simulate().latency_s > 0

@@ -1,0 +1,99 @@
+"""Latency/energy breakdown arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.breakdown import (
+    COMMUNICATION_COMPONENTS,
+    Component,
+    EnergyBreakdown,
+    LatencyBreakdown,
+)
+from repro.errors import ConfigurationError
+
+
+def test_add_accumulates():
+    breakdown = LatencyBreakdown()
+    breakdown.add(Component.COMPUTE, 0.1)
+    breakdown.add(Component.COMPUTE, 0.2)
+    assert breakdown.get(Component.COMPUTE) == pytest.approx(0.3)
+
+
+def test_total_sums_components():
+    breakdown = LatencyBreakdown()
+    breakdown.add(Component.COMPUTE, 0.1)
+    breakdown.add(Component.REMOTE_READ, 0.4)
+    assert breakdown.total == pytest.approx(0.5)
+
+
+def test_communication_classification():
+    breakdown = LatencyBreakdown()
+    breakdown.add(Component.REMOTE_READ, 0.1)
+    breakdown.add(Component.P2P_WRITE, 0.2)
+    breakdown.add(Component.DEVICE_COPY, 0.1)
+    breakdown.add(Component.COMPUTE, 0.6)
+    assert breakdown.communication == pytest.approx(0.4)
+
+
+def test_compute_includes_cpu_work():
+    breakdown = LatencyBreakdown()
+    breakdown.add(Component.COMPUTE, 0.1)
+    breakdown.add(Component.CPU_COMPUTE, 0.05)
+    assert breakdown.compute == pytest.approx(0.15)
+
+
+def test_fractions_sum_to_one():
+    breakdown = LatencyBreakdown()
+    breakdown.add(Component.COMPUTE, 0.3)
+    breakdown.add(Component.SYSTEM_STACK, 0.1)
+    breakdown.add(Component.REMOTE_READ, 0.6)
+    assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+
+def test_merged_is_non_destructive():
+    a = LatencyBreakdown()
+    a.add(Component.COMPUTE, 0.1)
+    b = LatencyBreakdown()
+    b.add(Component.COMPUTE, 0.2)
+    merged = a.merged(b)
+    assert merged.get(Component.COMPUTE) == pytest.approx(0.3)
+    assert a.get(Component.COMPUTE) == pytest.approx(0.1)
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ConfigurationError):
+        LatencyBreakdown().add(Component.COMPUTE, -0.1)
+
+
+def test_driver_and_stack_are_not_communication():
+    assert Component.DRIVER not in COMMUNICATION_COMPONENTS
+    assert Component.SYSTEM_STACK not in COMMUNICATION_COMPONENTS
+
+
+def test_energy_breakdown_total():
+    energy = EnergyBreakdown(compute_j=1.0, host_cpu_j=2.0, pcie_j=0.5, storage_j=0.5)
+    assert energy.total_j == pytest.approx(4.0)
+
+
+def test_energy_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        EnergyBreakdown(compute_j=-1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(list(Component)),
+            st.floats(min_value=0, max_value=10),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_total_equals_sum_of_adds(entries):
+    breakdown = LatencyBreakdown()
+    for component, value in entries:
+        breakdown.add(component, value)
+    assert breakdown.total == pytest.approx(sum(v for _, v in entries))

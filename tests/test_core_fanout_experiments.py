@@ -1,0 +1,74 @@
+"""Fan-out + warm-pool interaction with the benchmark suite.
+
+Ties the §5.2/§5.3 features to realistic request patterns: a bursty day
+of traffic replayed against the warm pool, and fan-out on the multi-chunk
+regime that would otherwise force CPU fall-back.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.trace import TraceGenerator
+from repro.core.fanout import FanoutExecution
+from repro.core.model import ServerlessExecutionModel
+from repro.experiments.benchmarks import benchmark_suite
+from repro.platforms.registry import dscs_dsa
+from repro.serverless.coldstart import ColdStartModel
+from repro.serverless.warmpool import WarmPool
+
+
+def test_trace_replay_cold_fraction_is_tiny_for_hot_suite():
+    """Sustained traffic keeps all eight functions warm after warm-up."""
+    suite = benchmark_suite()
+    generator = TraceGenerator(
+        list(suite), rate_envelope=(2.0, 2.0, 2.0), segment_seconds=60.0
+    )
+    trace = generator.generate(np.random.default_rng(0))
+    pool = WarmPool(
+        coldstart=ColdStartModel(warm_window_seconds=600.0), capacity=16
+    )
+    timeline = list(zip(trace.arrival_seconds, trace.app_names))
+    stats = pool.replay(timeline)
+    # Only the initial cold start per application.
+    assert stats.cold_invocations == len(suite)
+    assert stats.cold_fraction < 0.05
+
+
+def test_sparse_traffic_pays_repeated_cold_starts():
+    """Invocations spaced beyond the keep-alive window stay cold."""
+    pool = WarmPool(coldstart=ColdStartModel(warm_window_seconds=60.0))
+    timeline = [(float(i * 600), "sparse-fn") for i in range(10)]
+    stats = pool.replay(timeline)
+    assert stats.cold_invocations == 10
+    # After the first eviction the image is parked on flash: P2P reloads.
+    assert stats.flash_reloads == 9
+
+
+def test_fanout_beats_single_drive_only_for_large_payloads():
+    suite = benchmark_suite()
+    model = ServerlessExecutionModel(platform=dscs_dsa())
+    heavy = suite["Content Moderation"]  # 16 MB
+    light = suite["Conversational Chatbot"]  # 512 KB
+
+    def latency(app, drives):
+        runner = FanoutExecution(model=model, num_drives=drives)
+        return runner.invoke(app, np.random.default_rng(1)).latency_seconds
+
+    heavy_gain = latency(heavy, 1) / latency(heavy, 4)
+    light_gain = latency(light, 1) / latency(light, 4)
+    assert heavy_gain > light_gain
+
+
+def test_fanout_latency_still_dominated_by_shared_stages():
+    """The notification stage and stack are not parallelisable, bounding
+    fan-out gains (Amdahl again, now inside DSCS)."""
+    suite = benchmark_suite()
+    model = ServerlessExecutionModel(platform=dscs_dsa())
+    app = suite["PPE Detection"]
+    single = FanoutExecution(model=model, num_drives=1).invoke(
+        app, np.random.default_rng(2)
+    )
+    wide = FanoutExecution(model=model, num_drives=16).invoke(
+        app, np.random.default_rng(2)
+    )
+    assert wide.latency_seconds > single.latency_seconds / 8

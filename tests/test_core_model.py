@@ -1,0 +1,189 @@
+"""Execution-model behaviour: data paths, breakdowns, sampling, energy."""
+
+import numpy as np
+import pytest
+
+from repro.core.breakdown import Component
+from repro.core.fabric import StorageFabric
+from repro.core.model import ServerlessExecutionModel
+from repro.errors import ConfigurationError
+from repro.experiments.benchmarks import build_application
+from repro.platforms.registry import (
+    baseline_cpu,
+    dscs_dsa,
+    gpu_2080ti,
+    ns_arm,
+)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_application("Asset Damage Detection")
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return StorageFabric()
+
+
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestTraditionalPath:
+    def test_cpu_uses_remote_io_only(self, app, fabric):
+        model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        latency = model.invoke(app, rng()).latency
+        assert latency.get(Component.REMOTE_READ) > 0
+        assert latency.get(Component.REMOTE_WRITE) > 0
+        assert latency.get(Component.P2P_READ) == 0
+        assert latency.get(Component.LOCAL_READ) == 0
+        assert latency.get(Component.DRIVER) == 0
+
+    def test_gpu_adds_driver_and_copies(self, app, fabric):
+        model = ServerlessExecutionModel(platform=gpu_2080ti(), fabric=fabric)
+        latency = model.invoke(app, rng()).latency
+        assert latency.get(Component.DRIVER) > 0
+        assert latency.get(Component.DEVICE_COPY) > 0
+        assert latency.get(Component.REMOTE_READ) > 0
+
+    def test_gpu_compute_smaller_than_cpu(self, app, fabric):
+        cpu = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        gpu = ServerlessExecutionModel(platform=gpu_2080ti(), fabric=fabric)
+        cpu_compute = cpu.invoke(app, rng()).latency.get(Component.COMPUTE)
+        gpu_compute = gpu.invoke(app, rng()).latency.get(Component.COMPUTE)
+        assert gpu_compute < cpu_compute
+
+
+class TestNearStoragePath:
+    def test_local_io_replaces_remote_for_model_functions(self, app, fabric):
+        model = ServerlessExecutionModel(platform=ns_arm(), fabric=fabric)
+        latency = model.invoke(app, rng()).latency
+        assert latency.get(Component.LOCAL_READ) > 0
+        # f3 (notification) still reads remotely.
+        assert latency.get(Component.REMOTE_READ) > 0
+
+    def test_local_io_cheaper_than_remote(self, app, fabric):
+        arm = ServerlessExecutionModel(platform=ns_arm(), fabric=fabric)
+        cpu = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        arm_latency = arm.invoke(app, rng()).latency
+        cpu_latency = cpu.invoke(app, rng()).latency
+        local = arm_latency.get(Component.LOCAL_READ) + arm_latency.get(
+            Component.LOCAL_WRITE
+        )
+        remote = cpu_latency.get(Component.REMOTE_READ) + cpu_latency.get(
+            Component.REMOTE_WRITE
+        )
+        assert local < remote
+
+
+class TestDSCSPath:
+    def test_p2p_replaces_network(self, app, fabric):
+        model = ServerlessExecutionModel(platform=dscs_dsa(), fabric=fabric)
+        latency = model.invoke(app, rng()).latency
+        assert latency.get(Component.P2P_READ) > 0
+        assert latency.get(Component.P2P_WRITE) > 0
+        assert latency.get(Component.DRIVER) > 0
+        assert latency.get(Component.LOCAL_READ) == 0
+
+    def test_f3_still_pays_network(self, app, fabric):
+        model = ServerlessExecutionModel(platform=dscs_dsa(), fabric=fabric)
+        latency = model.invoke(app, rng()).latency
+        assert latency.get(Component.REMOTE_READ) > 0
+
+    def test_end_to_end_faster_than_baseline(self, app, fabric):
+        dscs = ServerlessExecutionModel(platform=dscs_dsa(), fabric=fabric)
+        cpu = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        assert (
+            dscs.invoke(app, rng()).latency_seconds
+            < cpu.invoke(app, rng()).latency_seconds
+        )
+
+    def test_energy_lower_than_baseline(self, app, fabric):
+        dscs = ServerlessExecutionModel(platform=dscs_dsa(), fabric=fabric)
+        cpu = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        assert (
+            dscs.invoke(app, rng()).energy_joules
+            < cpu.invoke(app, rng()).energy_joules
+        )
+
+
+class TestBatchingAndCold:
+    def test_batch_scales_payload_and_compute(self, app, fabric):
+        model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        single = model.invoke(app, rng(), batch=1).latency_seconds
+        batched = model.invoke(app, rng(), batch=8).latency_seconds
+        assert single < batched < 8 * single
+
+    def test_cold_adds_cold_start_component(self, app, fabric):
+        model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        warm = model.invoke(app, rng(), cold=False).latency
+        cold = model.invoke(app, rng(), cold=True).latency
+        assert warm.get(Component.COLD_START) == 0
+        assert cold.get(Component.COLD_START) > 0
+
+    def test_dscs_cold_cheaper_than_baseline_cold(self, app, fabric):
+        dscs = ServerlessExecutionModel(platform=dscs_dsa(), fabric=fabric)
+        cpu = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        dscs_cold = dscs.invoke(app, rng(), cold=True).latency.get(
+            Component.COLD_START
+        )
+        cpu_cold = cpu.invoke(app, rng(), cold=True).latency.get(
+            Component.COLD_START
+        )
+        # DSCS reloads flash-parked images over P2P (paper §5.3).
+        assert dscs_cold < cpu_cold
+
+    def test_invalid_batch_rejected(self, app, fabric):
+        model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        with pytest.raises(ConfigurationError):
+            model.invoke(app, rng(), batch=0)
+
+
+class TestSampling:
+    def test_sample_count(self, app, fabric):
+        model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        samples = model.sample_latencies(app, rng(), 500)
+        assert len(samples) == 500
+        assert np.all(samples > 0)
+
+    def test_samples_consistent_with_invoke_scale(self, app, fabric):
+        model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        samples = model.sample_latencies(app, rng(), 2000)
+        single = model.invoke(app, rng()).latency_seconds
+        assert np.median(samples) == pytest.approx(single, rel=0.5)
+
+    def test_dscs_samples_have_less_variance(self, app, fabric):
+        cpu = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        dscs = ServerlessExecutionModel(platform=dscs_dsa(), fabric=fabric)
+        cpu_samples = cpu.sample_latencies(app, rng(), 2000)
+        dscs_samples = dscs.sample_latencies(app, rng(), 2000)
+        # DSCS removes the tailed network from f1/f2; relative spread shrinks.
+        cpu_spread = np.percentile(cpu_samples, 99) / np.median(cpu_samples)
+        dscs_spread = np.percentile(dscs_samples, 99) / np.median(dscs_samples)
+        assert dscs_spread < cpu_spread
+
+    def test_invalid_count_rejected(self, app, fabric):
+        model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=fabric)
+        with pytest.raises(ConfigurationError):
+            model.sample_latencies(app, rng(), 0)
+
+
+class TestFabric:
+    def test_p2p_faster_than_remote(self, fabric):
+        from repro.units import MB
+
+        remote = fabric.median_remote_read_seconds(4 * MB)
+        p2p = fabric.p2p_read_seconds(4 * MB)
+        assert p2p < remote
+
+    def test_local_faster_than_remote(self, fabric):
+        from repro.units import MB
+
+        assert fabric.local_read_seconds(4 * MB) < fabric.median_remote_read_seconds(
+            4 * MB
+        )
+
+    def test_tail_ratio_copy(self, fabric):
+        heavy = fabric.with_tail_ratio(4.0)
+        assert heavy.rpc.network.rtt.p99_over_median == 4.0

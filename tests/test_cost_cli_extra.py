@@ -1,0 +1,44 @@
+"""Additional CLI command coverage (slower commands, small sample counts)."""
+
+import pytest
+
+from repro import cli
+from repro.experiments import report
+
+
+@pytest.mark.slow
+def test_fig09_cli_runs_with_tiny_samples(tmp_path, capsys):
+    target = tmp_path / "fig09.json"
+    assert cli.main(["fig09", "--samples", "50", "--json", str(target)]) == 0
+    rows = report.read_json(target)
+    platforms = {row["platform"] for row in rows}
+    assert "DSCS-Serverless" in platforms
+    assert all("geomean" in row for row in rows)
+
+
+@pytest.mark.slow
+def test_fig12_cli_runs(tmp_path):
+    target = tmp_path / "fig12.csv"
+    assert cli.main(["fig12", "--samples", "50", "--csv", str(target)]) == 0
+    lines = target.read_text().strip().splitlines()
+    assert lines[0] == "platform,throughput_rps,total_cost_usd,normalized"
+    assert len(lines) == 8  # header + 7 platforms
+
+
+@pytest.mark.slow
+def test_fig17_cli_runs(capsys):
+    assert cli.main(["fig17", "--samples", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "warm" in out and "cold" in out
+
+
+def test_cli_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        cli.build_parser().parse_args([])
+
+
+def test_cli_parser_accepts_dse_full_flag():
+    args = cli.build_parser().parse_args(["dse", "--full"])
+    assert args.full is True
+    args = cli.build_parser().parse_args(["dse"])
+    assert args.full is False

@@ -1,0 +1,75 @@
+"""Program disassembler and per-op statistics."""
+
+import pytest
+
+from repro.accelerator.config import paper_design_point
+from repro.accelerator.disassembler import (
+    disassemble,
+    format_instruction,
+    hottest_ops,
+    per_op_stats,
+)
+from repro.accelerator.isa import GemmTile, LoadTile, StoreTile, Sync, VectorOp
+from repro.compiler.codegen import generate
+from repro.models.builder import GraphBuilder
+from repro.models.tensor import DType, TensorSpec
+from repro.models.zoo import resnet50
+
+
+def program():
+    builder = GraphBuilder("toy", TensorSpec("x", (32, 64), DType.INT8))
+    builder.linear(48, name="fc1").relu().linear(8, name="fc2").softmax()
+    return generate(builder.build(), paper_design_point())
+
+
+def test_format_gemm():
+    text = format_instruction(GemmTile("conv1", m=16, n=8, k=4))
+    assert "GEMM" in text and "conv1" in text and "m=16" in text
+
+
+def test_format_load_store_vop_sync():
+    assert "LOAD" in format_instruction(LoadTile("op", num_bytes=128))
+    assert "STORE" in format_instruction(StoreTile("op", num_bytes=64))
+    assert "fused" in format_instruction(VectorOp("op", elements=4, fused=True))
+    assert format_instruction(Sync("op")) == "SYNC"
+
+
+def test_disassemble_full():
+    text = disassemble(program())
+    assert text.splitlines()[0].startswith("; program toy")
+    assert "HALT" in text
+    assert "fc1" in text and "fc2" in text
+
+
+def test_disassemble_truncated():
+    text = disassemble(program(), limit=3)
+    assert "more instructions" in text
+    assert len(text.splitlines()) == 5  # header + 3 + ellipsis
+
+
+def test_per_op_stats_macs_match_graph():
+    prog = program()
+    stats = per_op_stats(prog)
+    assert stats["fc1"].macs == 32 * 64 * 48
+    assert stats["fc2"].macs == 32 * 48 * 8
+
+
+def test_per_op_stats_traffic_positive():
+    stats = per_op_stats(program())
+    assert stats["fc1"].load_bytes > 0
+    assert stats["fc1"].arithmetic_intensity > 0
+
+
+def test_vector_ops_attributed():
+    stats = per_op_stats(program())
+    vector_ops = [s for s in stats.values() if s.vector_element_ops > 0]
+    assert vector_ops  # relu/softmax present
+
+
+def test_hottest_ops_on_resnet():
+    prog = generate(resnet50(), paper_design_point())
+    top = hottest_ops(prog, top=5)
+    assert len(top) == 5
+    macs = [s.macs for s in top]
+    assert macs == sorted(macs, reverse=True)
+    assert macs[0] > 0

@@ -1,0 +1,116 @@
+"""Design-space enumeration and exploration (paper §4.2)."""
+
+import pytest
+
+from repro.accelerator.config import DSAConfig
+from repro.dse.explorer import DSEExplorer
+from repro.dse.space import design_space, paper_search_space_size
+from repro.errors import ConfigurationError
+from repro.models.zoo import logistic_regression, mlp
+from repro.units import MB
+
+
+def tiny_explorer():
+    """Explorer with tiny models so sweeps stay fast in tests."""
+    return DSEExplorer(
+        eval_models=[
+            mlp(rows=64, features=64, hidden=(128,), classes=16),
+            logistic_regression(rows=256, features=32),
+        ]
+    )
+
+
+class TestSpace:
+    def test_full_space_exceeds_paper_size(self):
+        assert paper_search_space_size() > 650
+
+    def test_square_subset_smaller(self):
+        assert len(design_space(square_only=True)) < paper_search_space_size()
+
+    def test_dims_within_paper_range(self):
+        for config in design_space(square_only=True):
+            assert 4 <= config.pe_rows <= 1024
+            assert 4 <= config.pe_cols <= 1024
+
+    def test_buffers_capped_at_32mb(self):
+        for config in design_space():
+            assert config.buffer_bytes <= 32 * MB
+
+    def test_three_memory_technologies_present(self):
+        memories = {c.memory.name for c in design_space(square_only=True)}
+        assert memories == {"DDR4", "DDR5", "HBM2"}
+
+    def test_aspect_ratio_bounded(self):
+        for config in design_space():
+            aspect = max(config.pe_rows, config.pe_cols) / min(
+                config.pe_rows, config.pe_cols
+            )
+            assert aspect <= 8
+
+    def test_no_duplicate_labels(self):
+        labels = [c.label for c in design_space()]
+        assert len(labels) == len(set(labels))
+
+    def test_paper_point_in_space(self):
+        labels = {c.label for c in design_space(square_only=True)}
+        assert "Dim128-4MB-DDR5" in labels
+
+
+class TestExplorer:
+    def test_evaluate_caches(self):
+        explorer = tiny_explorer()
+        config = DSAConfig()
+        assert explorer.evaluate(config) is explorer.evaluate(config)
+
+    def test_throughput_positive(self):
+        result = tiny_explorer().evaluate(DSAConfig())
+        assert result.throughput_fps > 0
+        assert result.dynamic_power_watts >= 0
+        assert result.area_mm2 > 0
+
+    def test_sweep_returns_all(self):
+        explorer = tiny_explorer()
+        configs = [DSAConfig(pe_rows=d, pe_cols=d) for d in (8, 32, 128)]
+        results = explorer.sweep(configs)
+        assert len(results) == 3
+
+    def test_sweep_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            tiny_explorer().sweep([])
+
+    def test_pareto_fronts_subset_of_results(self):
+        explorer = tiny_explorer()
+        configs = [DSAConfig(pe_rows=d, pe_cols=d) for d in (8, 16, 64, 256)]
+        results = explorer.sweep(configs)
+        power_front = explorer.power_pareto(results)
+        area_front = explorer.area_pareto(results)
+        labels = {r.label for r in results}
+        assert {r.label for r in power_front} <= labels
+        assert {r.label for r in area_front} <= labels
+
+    def test_huge_array_infeasible_under_budget(self):
+        explorer = tiny_explorer()
+        huge = explorer.evaluate(
+            DSAConfig(pe_rows=1024, pe_cols=1024, buffer_bytes=32 * MB)
+        )
+        assert not huge.feasible
+
+    def test_paper_point_feasible(self):
+        result = tiny_explorer().evaluate(DSAConfig())
+        assert result.feasible
+
+    def test_best_feasible_respects_budget(self):
+        explorer = tiny_explorer()
+        configs = [
+            DSAConfig(pe_rows=d, pe_cols=d, buffer_bytes=4 * MB)
+            for d in (32, 128, 512)
+        ]
+        results = explorer.sweep(configs)
+        best = explorer.best_feasible(results)
+        assert best.feasible
+
+    def test_power_grows_with_array(self):
+        explorer = tiny_explorer()
+        small = explorer.evaluate(DSAConfig(pe_rows=16, pe_cols=16))
+        large = explorer.evaluate(DSAConfig(pe_rows=256, pe_cols=256))
+        assert large.total_power_watts > small.total_power_watts

@@ -1,0 +1,57 @@
+"""Smoke tests: the runnable examples execute end to end.
+
+Each example is imported from its file path and its ``main()`` invoked;
+stdout is captured by pytest.  The slower sweeps (DSE, at-scale) have
+dedicated benchmark targets instead.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = list(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "ResNet-50" in out
+    assert "speedup" in out
+
+
+def test_wildfire_example_runs(capsys):
+    load_example("wildfire_remote_sensing").main()
+    out = capsys.readouterr().out
+    assert "Scheduler: in_storage_dsa" in out
+    assert "improved" in out
+
+
+@pytest.mark.slow
+def test_dse_example_runs(capsys):
+    load_example("design_space_exploration").main()
+    out = capsys.readouterr().out
+    assert "Pareto frontier" in out
+
+
+@pytest.mark.slow
+def test_at_scale_example_runs(capsys):
+    load_example("datacenter_at_scale").main()
+    out = capsys.readouterr().out
+    assert "peak queue depth" in out

@@ -1,0 +1,56 @@
+"""The Fig. 13 experiment module at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig13
+from repro.experiments.common import BASELINE_NAME, DSCS_NAME, build_context
+
+
+@pytest.fixture(scope="module")
+def study():
+    context = build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
+    # 1/40th of the paper's request rates against 1/40th of the fleet:
+    # the same saturation regime, seconds instead of minutes to run.
+    return fig13.run(max_instances=5, context=context, rate_scale=0.025)
+
+
+def test_trace_matches_paper_duration(study):
+    assert study.trace.duration_seconds == pytest.approx(20 * 60)
+
+
+def test_all_requests_complete(study):
+    assert (
+        len(study.baseline.completed_latency_seconds)
+        + study.baseline.dropped_requests
+        == study.baseline.total_requests
+    )
+    assert len(study.dscs.completed_latency_seconds) == study.dscs.total_requests
+
+
+def test_baseline_queues_dscs_does_not(study):
+    assert study.baseline_peak_queue > 10
+    assert study.dscs_peak_queue <= study.baseline_peak_queue / 5
+
+
+def test_baseline_latency_climbs_under_burst(study):
+    base = study.baseline.mean_latency_per_bucket(60.0)
+    dscs = study.dscs.mean_latency_per_bucket(60.0)
+    base_valid = base[~np.isnan(base)]
+    dscs_valid = dscs[~np.isnan(dscs)]
+    # The baseline's worst minute is far above its best; DSCS stays flat.
+    assert base_valid.max() > 2 * base_valid.min()
+    assert dscs_valid.max() < 1.5 * dscs_valid.min()
+
+
+def test_dscs_mean_latency_much_lower(study):
+    assert (
+        study.dscs.mean_latency_seconds
+        < study.baseline.mean_latency_seconds / 3
+    )
+
+
+def test_requests_per_second_series_shape(study):
+    rps = study.trace.requests_per_second(60.0)
+    assert len(rps) == 20  # one bucket per minute
+    assert rps.max() > rps.min()

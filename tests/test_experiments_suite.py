@@ -1,0 +1,86 @@
+"""Benchmark-suite definitions and tables."""
+
+import pytest
+
+from repro.experiments.benchmarks import BENCHMARKS, benchmark_suite, build_application
+from repro.experiments.tables import table1_rows, table2_rows
+from repro.units import MB
+
+
+def test_eight_benchmarks():
+    assert len(BENCHMARKS) == 8
+
+
+def test_suite_builds_all():
+    suite = benchmark_suite()
+    assert len(suite) == 8
+    for name, app in suite.items():
+        assert app.name == name
+        assert len(app.functions) == 3
+
+
+def test_every_app_has_three_stage_chain():
+    for app in benchmark_suite().values():
+        roles = [f.role.value for f in app.functions]
+        assert roles == ["preprocess", "inference", "notification"]
+
+
+def test_first_two_functions_acceleratable():
+    for app in benchmark_suite().values():
+        assert app.functions[0].acceleratable
+        assert app.functions[1].acceleratable
+        assert not app.functions[2].acceleratable
+
+
+def test_request_sizes_within_lambda_cap():
+    # AWS S3/Lambda payloads are <= 20 MB (paper [109]).
+    for app in benchmark_suite().values():
+        assert app.input_bytes <= 20 * MB
+
+
+def test_edge_payloads_match_inference_input():
+    for app in benchmark_suite().values():
+        assert app.edge_bytes[0] == app.functions[1].graph.input.size_bytes
+
+
+def test_build_application_by_name():
+    app = build_application("PPE Detection")
+    assert app.name == "PPE Detection"
+    with pytest.raises(KeyError):
+        build_application("nope")
+
+
+def test_ppe_is_most_data_intensive():
+    suite = benchmark_suite()
+    ppe = suite["PPE Detection"].input_bytes
+    others = [a.input_bytes for n, a in suite.items()
+              if n not in ("PPE Detection", "Content Moderation")]
+    assert all(ppe >= o for o in others)
+
+
+def test_credit_risk_is_least_compute_intensive():
+    suite = benchmark_suite()
+    credit = suite["Credit Risk Assessment"].functions[1].graph.stats().total_macs
+    for name, app in suite.items():
+        if name == "Credit Risk Assessment":
+            continue
+        assert credit < app.functions[1].graph.stats().total_macs
+
+
+def test_table1_rows_complete():
+    rows = table1_rows()
+    assert len(rows) == 8
+    for row in rows:
+        assert row["gmacs"] >= 0
+        assert row["input_mb"] > 0
+        assert len(row["functions"]) == 3
+
+
+def test_table2_rows_complete():
+    rows = table2_rows()
+    assert len(rows) == 7
+    names = {row["platform"] for row in rows}
+    assert "DSCS-Serverless" in names
+    assert "Baseline (CPU)" in names
+    for row in rows:
+        assert "compute" in row

@@ -1,0 +1,130 @@
+"""Extended features: chain fusion, extended zoo, roofline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import DDR4, DSAConfig, HBM2, paper_design_point
+from repro.analysis.roofline import analyze
+from repro.core.breakdown import Component
+from repro.core.model import ServerlessExecutionModel
+from repro.errors import ConfigurationError
+from repro.experiments.benchmarks import build_application
+from repro.models.zoo import bert_encoder, dlrm, gpt2_decoder, resnet50, unet
+from repro.platforms.registry import dscs_dsa
+
+
+class TestChainFusion:
+    """Paper §5.3: chained functions on the same DSA skip the P2P hop."""
+
+    @pytest.fixture(scope="class")
+    def app(self):
+        return build_application("Asset Damage Detection")
+
+    def test_fusion_reduces_p2p_traffic_time(self, app):
+        plain = ServerlessExecutionModel(platform=dscs_dsa())
+        fused = ServerlessExecutionModel(
+            platform=dscs_dsa(), fuse_chained_functions=True
+        )
+        # Matched congestion draws isolate the fusion effect.
+        plain_result = plain.invoke(app, np.random.default_rng(0))
+        fused_result = fused.invoke(app, np.random.default_rng(0))
+        assert fused_result.latency.get(Component.P2P_WRITE) < plain_result.latency.get(
+            Component.P2P_WRITE
+        )
+        assert fused_result.latency_seconds <= plain_result.latency_seconds
+
+    def test_fusion_keeps_first_read_and_last_write(self, app):
+        rng = np.random.default_rng(0)
+        fused = ServerlessExecutionModel(
+            platform=dscs_dsa(), fuse_chained_functions=True
+        )
+        result = fused.invoke(app, rng)
+        # f1 still reads the request from flash; f2 still writes its result.
+        assert result.latency.get(Component.P2P_READ) > 0
+        assert result.latency.get(Component.P2P_WRITE) > 0
+
+    def test_fusion_gain_grows_with_extra_stages(self, app):
+        extended = app.with_extra_inference_stages(3)
+        plain = ServerlessExecutionModel(platform=dscs_dsa())
+        fused = ServerlessExecutionModel(
+            platform=dscs_dsa(), fuse_chained_functions=True
+        )
+        gain_base = (
+            plain.invoke(app, np.random.default_rng(0)).latency_seconds
+            - fused.invoke(app, np.random.default_rng(0)).latency_seconds
+        )
+        gain_ext = (
+            plain.invoke(extended, np.random.default_rng(0)).latency_seconds
+            - fused.invoke(extended, np.random.default_rng(0)).latency_seconds
+        )
+        assert gain_ext > gain_base
+
+
+class TestExtendedZoo:
+    def test_bert_builds_with_plausible_size(self):
+        stats = bert_encoder().stats()
+        assert 60e6 < stats.weight_bytes < 160e6  # ~110M params
+        assert stats.total_macs > 5e9
+
+    def test_unet_builds_and_downsamples(self):
+        graph = unet(image_size=128, depth=3)
+        assert graph.stats().num_matrix_ops > 10
+        assert graph.output.shape[1] == 2  # class maps
+
+    def test_unet_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            unet(image_size=100, depth=4)
+
+    def test_dlrm_is_embedding_dominated(self):
+        stats = dlrm().stats()
+        from repro.models.ops import Embedding
+
+        table_bytes = sum(
+            op.weight_bytes() for op in dlrm() if isinstance(op, Embedding)
+        )
+        assert table_bytes > 0.8 * stats.weight_bytes
+
+    def test_extended_models_compile_and_simulate(self):
+        from repro.compiler import compile_graph
+
+        for graph in (bert_encoder(seq=64, layers=4), unet(image_size=64, depth=2),
+                      dlrm(embedding_rows=10_000)):
+            report = compile_graph(graph, paper_design_point()).simulate()
+            assert report.latency_s > 0
+
+
+class TestRoofline:
+    def test_gpt2_is_bandwidth_bound_on_ddr4(self):
+        point = analyze(
+            gpt2_decoder(seq=64, dim=768, layers=12, heads=12),
+            DSAConfig(memory=DDR4),
+        )
+        assert not point.compute_bound
+
+    def test_gpt2_nears_compute_bound_on_hbm2(self):
+        ddr4 = analyze(
+            gpt2_decoder(seq=64, dim=768, layers=12, heads=12),
+            DSAConfig(memory=DDR4),
+        )
+        hbm = analyze(
+            gpt2_decoder(seq=64, dim=768, layers=12, heads=12),
+            DSAConfig(memory=HBM2),
+        )
+        # Same traffic, much lower ridge: HBM2 moves it toward compute-bound.
+        assert hbm.ridge_intensity < ddr4.ridge_intensity
+        assert hbm.operational_intensity == pytest.approx(
+            ddr4.operational_intensity, rel=0.01
+        )
+
+    def test_efficiency_in_unit_interval(self):
+        point = analyze(resnet50(), paper_design_point())
+        assert 0 < point.roofline_efficiency <= 1.0
+
+    def test_ceiling_never_exceeds_peak(self):
+        point = analyze(resnet50(), paper_design_point())
+        assert point.roofline_bound_macs_per_s <= point.peak_macs_per_s
+
+    def test_intensity_positive(self):
+        point = analyze(resnet50(), paper_design_point())
+        assert point.operational_intensity > 0
+        assert point.ridge_intensity > 0

@@ -1,0 +1,116 @@
+"""Failure injection: full drives, unhealthy nodes, DSA contention.
+
+The paper's fail-over story (§5.3) is that DSCS degrades to conventional
+execution, never to an error; these tests inject the failure modes and
+assert the degradation paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.experiments.benchmarks import build_application
+from repro.platforms.registry import baseline_cpu, dscs_dsa
+from repro.serverless.function import FunctionRole, ServerlessFunction
+from repro.serverless.runtime import ServerlessPlatform
+from repro.serverless.scheduler import FunctionPlacer, PlacementTarget
+from repro.storage.drive import DSCSDrive, SSDDrive
+from repro.storage.node import StorageNode
+from repro.storage.object_store import ObjectStore
+from repro.models.zoo import logistic_regression
+from repro.units import MB
+
+
+def platform_with(nodes):
+    return ServerlessPlatform(
+        store=ObjectStore(nodes),
+        accelerated_platform=dscs_dsa(),
+        fallback_platform=baseline_cpu(),
+    )
+
+
+def test_full_drive_rejects_placement_explicitly():
+    node = StorageNode(drives=[SSDDrive(capacity_bytes=2 * MB)])
+    store = ObjectStore([node], placement=None)
+    store.put("a", 1 * MB)
+    with pytest.raises(StorageError):
+        store.put("b", 2 * MB)
+
+
+def test_replicas_released_when_object_deleted_after_partial_fill():
+    node = StorageNode(drives=[SSDDrive(capacity_bytes=8 * MB)])
+    store = ObjectStore([node])
+    store.put("a", 3 * MB)
+    store.delete("a")
+    assert node.drives[0].used_bytes == 0
+    # Space is reusable after release.
+    store.put("b", 6 * MB)
+
+
+def test_unhealthy_node_marks_failover_and_recovers():
+    nodes = [StorageNode(drives=[SSDDrive()]), StorageNode(drives=[DSCSDrive()])]
+    store = ObjectStore(nodes)
+    meta = store.put("obj", MB, acceleratable=True)
+    placer = FunctionPlacer(store=store)
+    function = ServerlessFunction(
+        name="f",
+        role=FunctionRole.INFERENCE,
+        graph=logistic_regression(rows=32, features=8),
+        acceleratable=True,
+    )
+    label = f"storage-node-{meta.accelerated_replica().node.node_id}"
+
+    placer.telemetry.mark_healthy(label, False)
+    assert placer.place(function, "obj").target is PlacementTarget.COMPUTE_NODE
+
+    placer.telemetry.mark_healthy(label, True)
+    assert placer.place(function, "obj").target is PlacementTarget.IN_STORAGE_DSA
+
+
+def test_dsa_contention_serialises_to_fallback():
+    """Two concurrent requests: one accelerated, one degraded to CPU."""
+    app = build_application("Credit Risk Assessment")
+    nodes = [StorageNode(drives=[SSDDrive()]), StorageNode(drives=[DSCSDrive()])]
+    platform = platform_with(nodes)
+    platform.deploy(app)
+    key = platform.upload_request(app.name, app.input_bytes)
+
+    meta = platform.store.get_meta(key)
+    drive = meta.accelerated_replica().drive
+    rng = np.random.default_rng(0)
+
+    drive.mark_busy()  # request A holds the DSA
+    degraded = platform.invoke(app.name, key, rng)
+    drive.mark_idle()
+    accelerated = platform.invoke(app.name, key, rng)
+
+    assert degraded.platform == "Baseline (CPU)"
+    assert accelerated.platform == "DSCS-Serverless"
+
+
+def test_staging_dram_overflow_is_an_error_not_a_hang():
+    drive = DSCSDrive(staging_dram_bytes=4 * MB)
+    with pytest.raises(StorageError):
+        drive.p2p_read_seconds(8 * MB)
+
+
+def test_queue_overflow_drops_are_bounded():
+    """Admission control: drops never exceed arrivals minus capacity."""
+    from repro.cluster.simulation import RackSimulation
+    from repro.cluster.trace import TraceGenerator
+    from repro.core.model import ServerlessExecutionModel
+    from repro.experiments.benchmarks import benchmark_suite
+
+    suite = benchmark_suite()
+    model = ServerlessExecutionModel(platform=baseline_cpu())
+    trace = TraceGenerator(
+        list(suite), rate_envelope=(40.0,), segment_seconds=30.0
+    ).generate(np.random.default_rng(0))
+    series = RackSimulation(
+        model, suite, max_instances=1, queue_depth=3
+    ).run(trace)
+    assert 0 < series.dropped_requests < len(trace)
+    assert (
+        len(series.completed_latency_seconds) + series.dropped_requests
+        == len(trace)
+    )

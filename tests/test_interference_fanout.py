@@ -1,0 +1,136 @@
+"""Storage-node interference and multi-CSD fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.interference import (
+    CoLocatedFunctionLoad,
+    StorageNodeCPU,
+    StorageTrafficProfile,
+    dscs_co_located_load,
+    ns_cpu_co_located_load,
+)
+from repro.core.fanout import FanoutExecution
+from repro.core.model import ServerlessExecutionModel
+from repro.errors import ConfigurationError
+from repro.experiments.benchmarks import build_application
+from repro.platforms.registry import dscs_dsa
+
+
+class TestInterference:
+    def test_traffic_profile_load(self):
+        traffic = StorageTrafficProfile(
+            requests_per_second=1000, cpu_seconds_per_request=1e-3
+        )
+        assert traffic.offered_load == pytest.approx(1.0)
+
+    def test_dscs_barely_inflates_storage_latency(self):
+        cpu = StorageNodeCPU(cores=8)
+        traffic = StorageTrafficProfile()
+        dscs = dscs_co_located_load(invocations_per_second=10)
+        result = cpu.interference(traffic, dscs)
+        assert result.latency_inflation < 1.05  # <5% impact (paper §3 claim)
+
+    def test_ns_cpu_platform_inflates_substantially(self):
+        cpu = StorageNodeCPU(cores=8)
+        traffic = StorageTrafficProfile()
+        # An NS-ARM-style platform runs ~400 ms of compute per invocation
+        # on the node's cores.
+        ns = ns_cpu_co_located_load(
+            invocations_per_second=10, compute_seconds_per_invocation=0.4
+        )
+        result = cpu.interference(traffic, ns)
+        assert result.latency_inflation > 1.5
+
+    def test_overload_reported_as_saturation(self):
+        cpu = StorageNodeCPU(cores=2)
+        traffic = StorageTrafficProfile()
+        ns = ns_cpu_co_located_load(
+            invocations_per_second=20, compute_seconds_per_invocation=0.4
+        )
+        result = cpu.interference(traffic, ns)
+        assert result.saturated
+        assert result.latency_inflation == float("inf")
+
+    def test_baseline_saturation_rejected(self):
+        cpu = StorageNodeCPU(cores=1)
+        traffic = StorageTrafficProfile(
+            requests_per_second=20_000, cpu_seconds_per_request=120e-6
+        )
+        with pytest.raises(ConfigurationError):
+            cpu.interference(traffic, dscs_co_located_load(1))
+
+    def test_dscs_impact_below_ns_impact(self):
+        cpu = StorageNodeCPU(cores=8)
+        traffic = StorageTrafficProfile()
+        rate = 8.0
+        dscs = cpu.interference(traffic, dscs_co_located_load(rate))
+        ns = cpu.interference(
+            traffic,
+            ns_cpu_co_located_load(rate, compute_seconds_per_invocation=0.3),
+        )
+        assert dscs.latency_inflation < ns.latency_inflation
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StorageNodeCPU(cores=0)
+        with pytest.raises(ConfigurationError):
+            CoLocatedFunctionLoad(-1, 0.1)
+        with pytest.raises(ConfigurationError):
+            StorageTrafficProfile(cpu_seconds_per_request=0)
+
+
+class TestFanout:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return build_application("Content Moderation")  # largest payloads
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ServerlessExecutionModel(platform=dscs_dsa())
+
+    def test_fanout_reduces_latency_for_data_heavy_app(self, app, model):
+        rng = np.random.default_rng(0)
+        single = model.invoke(app, rng).latency_seconds
+        fanout = FanoutExecution(model=model, num_drives=4).invoke(
+            app, np.random.default_rng(0)
+        )
+        assert fanout.latency_seconds < single
+
+    def test_fanout_energy_counts_all_shards(self, app, model):
+        rng = np.random.default_rng(1)
+        two = FanoutExecution(model=model, num_drives=2).invoke(app, rng)
+        four = FanoutExecution(model=model, num_drives=4).invoke(
+            app, np.random.default_rng(1)
+        )
+        # More shards, more total compute energy (merge is host-side).
+        assert four.energy.compute_j > 0
+        assert two.energy.compute_j > 0
+
+    def test_fanout_platform_label(self, app, model):
+        result = FanoutExecution(model=model, num_drives=3).invoke(
+            app, np.random.default_rng(2)
+        )
+        assert result.platform.endswith("x3")
+
+    def test_single_drive_fanout_close_to_plain(self, app, model):
+        rng = np.random.default_rng(3)
+        plain = model.invoke(app, np.random.default_rng(3)).latency_seconds
+        one = FanoutExecution(model=model, num_drives=1).invoke(app, rng)
+        assert one.latency_seconds == pytest.approx(plain, rel=0.2)
+
+    def test_invalid_drive_count_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            FanoutExecution(model=model, num_drives=0)
+
+    def test_diminishing_returns(self, app, model):
+        latencies = []
+        for k in (1, 2, 8):
+            result = FanoutExecution(model=model, num_drives=k).invoke(
+                app, np.random.default_rng(4)
+            )
+            latencies.append(result.latency_seconds)
+        assert latencies[1] < latencies[0]
+        gain_12 = latencies[0] / latencies[1]
+        gain_28 = latencies[1] / latencies[2]
+        assert gain_28 < gain_12 * 4  # sublinear scaling

@@ -1,0 +1,121 @@
+"""Graph validation, stats aggregation, batching, and the builder."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.models.builder import GraphBuilder
+from repro.models.graph import Graph
+from repro.models.ops import Activation, ActivationKind, GeMM
+from repro.models.tensor import DType, TensorSpec
+
+
+def small_chain():
+    builder = GraphBuilder("small", TensorSpec("x", (4, 16), DType.INT8))
+    builder.linear(32).relu().linear(8).softmax()
+    return builder.build()
+
+
+class TestGraph:
+    def test_chain_shapes_validated(self):
+        gemm = GeMM("g", TensorSpec("x", (4, 16)), n=32)
+        bad_next = Activation("a", TensorSpec("y", (4, 31)))
+        with pytest.raises(ShapeError):
+            Graph("bad", [gemm, bad_next])
+
+    def test_dtype_mismatch_rejected(self):
+        gemm = GeMM("g", TensorSpec("x", (4, 16), DType.INT8), n=32)
+        bad = Activation("a", TensorSpec("y", (4, 32), DType.FP32))
+        with pytest.raises(ShapeError):
+            Graph("bad", [gemm, bad])
+
+    def test_duplicate_names_rejected(self):
+        op = GeMM("g", TensorSpec("x", (4, 16)), n=16)
+        with pytest.raises(ShapeError):
+            Graph("bad", [op, op])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ShapeError):
+            Graph("empty", [])
+
+    def test_io_specs(self):
+        graph = small_chain()
+        assert graph.input.shape == (4, 16)
+        assert graph.output.shape == (4, 8)
+
+    def test_stats_totals(self):
+        graph = small_chain()
+        stats = graph.stats()
+        assert stats.num_ops == 4
+        assert stats.num_matrix_ops == 2
+        assert stats.num_vector_ops == 2
+        assert stats.total_macs == 4 * 16 * 32 + 4 * 32 * 8
+        assert stats.weight_bytes == 16 * 32 + 32 * 8
+
+    def test_stats_peak_activation_at_least_io(self):
+        stats = small_chain().stats()
+        assert stats.peak_activation_bytes >= stats.input_bytes
+
+    def test_with_batch_scales_macs_linearly(self):
+        graph = small_chain()
+        batched = graph.with_batch(4)
+        assert batched.stats().total_macs == 4 * graph.stats().total_macs
+
+    def test_with_batch_keeps_weights(self):
+        graph = small_chain()
+        assert graph.with_batch(8).stats().weight_bytes == graph.stats().weight_bytes
+
+    def test_with_batch_one_is_identity(self):
+        graph = small_chain()
+        assert graph.with_batch(1) is graph
+
+    def test_with_batch_rejects_non_positive(self):
+        with pytest.raises(ShapeError):
+            small_chain().with_batch(0)
+
+
+class TestBuilder:
+    def test_conv_bn_relu_block(self):
+        builder = GraphBuilder("cnn", TensorSpec("img", (1, 3, 32, 32)))
+        builder.conv_bn_relu(8, kernel=3)
+        graph = builder.build()
+        assert len(graph) == 3
+        assert graph.output.shape == (1, 8, 32, 32)
+
+    def test_bottleneck_produces_out_channels(self):
+        builder = GraphBuilder("cnn", TensorSpec("img", (1, 64, 16, 16)))
+        builder.bottleneck(32, 128, stride=2)
+        assert builder.current.shape == (1, 128, 8, 8)
+
+    def test_attention_block_preserves_shape(self):
+        builder = GraphBuilder("tx", TensorSpec("x", (16, 64)))
+        builder.attention_block(seq=16, dim=64, heads=4)
+        assert builder.current.shape == (16, 64)
+
+    def test_attention_block_validates_input_shape(self):
+        builder = GraphBuilder("tx", TensorSpec("x", (16, 64)))
+        with pytest.raises(ShapeError):
+            builder.attention_block(seq=8, dim=64, heads=4)
+
+    def test_attention_rejects_indivisible_heads(self):
+        builder = GraphBuilder("tx", TensorSpec("x", (16, 64)))
+        with pytest.raises(ShapeError):
+            builder.attention_block(seq=16, dim=64, heads=5)
+
+    def test_transformer_layer_shape_stable(self):
+        builder = GraphBuilder("tx", TensorSpec("x", (16, 64)))
+        builder.transformer_layer(seq=16, dim=64, heads=4)
+        assert builder.current.shape == (16, 64)
+
+    def test_unique_names_generated(self):
+        builder = GraphBuilder("g", TensorSpec("x", (4, 4)))
+        builder.relu().relu().relu()
+        graph = builder.build()
+        names = [op.name for op in graph]
+        assert len(set(names)) == 3
+
+    def test_ffn_block_weights(self):
+        builder = GraphBuilder("tx", TensorSpec("x", (8, 32), DType.INT8))
+        builder.ffn_block(dim=32, hidden=128)
+        stats = builder.build().stats()
+        # up and down projections dominate.
+        assert stats.weight_bytes >= 32 * 128 + 128 * 32

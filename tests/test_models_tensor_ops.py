@@ -1,0 +1,204 @@
+"""Tensor specs and operator shape/work accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.models.ops import (
+    Activation,
+    ActivationKind,
+    Cast,
+    Conv2D,
+    Elementwise,
+    Embedding,
+    GeMM,
+    Layout,
+    LayoutKind,
+    Normalization,
+    Pool,
+    PoolKind,
+    Reduce,
+    Resample,
+)
+from repro.models.tensor import DType, TensorSpec
+
+
+class TestTensorSpec:
+    def test_elements_and_bytes(self):
+        spec = TensorSpec("x", (2, 3, 4), DType.FP32)
+        assert spec.elements == 24
+        assert spec.size_bytes == 96
+
+    def test_int8_is_one_byte(self):
+        assert TensorSpec("x", (10,), DType.INT8).size_bytes == 10
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("", (1,))
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (4, 0))
+
+    def test_rejects_scalar_shape(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", ())
+
+    def test_with_helpers(self):
+        spec = TensorSpec("x", (4, 4))
+        assert spec.with_name("y").name == "y"
+        assert spec.with_shape((16,)).shape == (16,)
+        assert spec.with_dtype(DType.FP16).size_bytes == 32
+
+
+class TestGeMM:
+    def test_output_shape_rank2(self):
+        op = GeMM("g", TensorSpec("x", (8, 16)), n=32)
+        assert op.infer_output().shape == (8, 32)
+
+    def test_output_shape_rank3(self):
+        op = GeMM("g", TensorSpec("x", (2, 8, 16)), n=32)
+        assert op.infer_output().shape == (2, 8, 32)
+
+    def test_macs(self):
+        op = GeMM("g", TensorSpec("x", (8, 16)), n=32)
+        assert op.macs() == 8 * 16 * 32
+        assert op.flops() == 2 * op.macs()
+
+    def test_batch_multiplies_macs(self):
+        single = GeMM("g", TensorSpec("x", (8, 16)), n=4)
+        batched = GeMM("g", TensorSpec("x", (3, 8, 16)), n=4)
+        assert batched.macs() == 3 * single.macs()
+
+    def test_weight_bytes(self):
+        op = GeMM("g", TensorSpec("x", (8, 16), DType.INT8), n=32)
+        assert op.weight_bytes() == 16 * 32
+
+    def test_is_matrix_op(self):
+        assert GeMM("g", TensorSpec("x", (8, 16)), n=4).is_matrix_op
+
+    def test_rejects_rank1(self):
+        with pytest.raises(ShapeError):
+            GeMM("g", TensorSpec("x", (8,)), n=4)
+
+
+class TestConv2D:
+    def test_output_spatial_dims(self):
+        op = Conv2D("c", TensorSpec("x", (1, 3, 32, 32)), out_channels=8,
+                    kernel=3, stride=1, padding=1)
+        assert op.infer_output().shape == (1, 8, 32, 32)
+
+    def test_stride_halves_resolution(self):
+        op = Conv2D("c", TensorSpec("x", (1, 8, 32, 32)), out_channels=8,
+                    kernel=3, stride=2, padding=1)
+        assert op.infer_output().shape == (1, 8, 16, 16)
+
+    def test_macs_match_implicit_gemm(self):
+        op = Conv2D("c", TensorSpec("x", (1, 16, 14, 14)), out_channels=32,
+                    kernel=3, stride=1, padding=1)
+        m, n, k = op.as_gemm_dims()
+        assert op.macs() == m * n * k
+
+    def test_grouped_conv_reduces_work(self):
+        dense = Conv2D("c", TensorSpec("x", (1, 16, 8, 8)), out_channels=16, kernel=3, padding=1)
+        grouped = Conv2D("c", TensorSpec("x", (1, 16, 8, 8)), out_channels=16,
+                         kernel=3, padding=1, groups=4)
+        assert grouped.macs() == dense.macs() // 4
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", TensorSpec("x", (1, 16, 8, 8)), out_channels=15,
+                   kernel=3, groups=4)
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", TensorSpec("x", (1, 3, 2, 2)), out_channels=4,
+                   kernel=5).infer_output()
+
+
+class TestVectorOps:
+    def test_activation_preserves_shape(self):
+        op = Activation("a", TensorSpec("x", (4, 4)), kind=ActivationKind.GELU)
+        assert op.infer_output().shape == (4, 4)
+        assert op.flops() == 16 * ActivationKind.GELU.flops_per_element
+        assert not op.is_matrix_op
+
+    def test_elementwise_costs_one_per_element(self):
+        op = Elementwise("e", TensorSpec("x", (10, 10)))
+        assert op.flops() == 100
+
+    def test_normalization_weight_bytes(self):
+        op = Normalization("n", TensorSpec("x", (4, 64), DType.INT8))
+        assert op.weight_bytes() == 2 * 64
+
+    def test_pool_output(self):
+        op = Pool("p", TensorSpec("x", (1, 8, 16, 16)), kind=PoolKind.MAX,
+                  kernel=2, stride=2)
+        assert op.infer_output().shape == (1, 8, 8, 8)
+
+    def test_reshape_checks_elements(self):
+        with pytest.raises(ShapeError):
+            Layout("l", TensorSpec("x", (4, 4)), kind=LayoutKind.RESHAPE,
+                   target_shape=(5, 5))
+
+    def test_transpose_checks_permutation(self):
+        with pytest.raises(ShapeError):
+            Layout("l", TensorSpec("x", (2, 8)), kind=LayoutKind.TRANSPOSE,
+                   target_shape=(4, 4))
+
+    def test_valid_transpose(self):
+        op = Layout("l", TensorSpec("x", (2, 8)), kind=LayoutKind.TRANSPOSE,
+                    target_shape=(8, 2))
+        assert op.infer_output().shape == (8, 2)
+
+    def test_cast_changes_dtype_bytes(self):
+        op = Cast("c", TensorSpec("x", (8,), DType.FP32), target_dtype=DType.INT8)
+        assert op.infer_output().size_bytes == 8
+
+    def test_reduce_drops_last_dim(self):
+        op = Reduce("r", TensorSpec("x", (4, 8)))
+        assert op.infer_output().shape == (4,)
+
+    def test_reduce_keepdim(self):
+        op = Reduce("r", TensorSpec("x", (4, 8)), keepdim=True)
+        assert op.infer_output().shape == (4, 1)
+
+    def test_resample_changes_element_count(self):
+        op = Resample("r", TensorSpec("x", (1, 3, 64, 64)),
+                      target_shape=(1, 3, 32, 32))
+        assert op.infer_output().elements == 3 * 32 * 32
+        assert op.flops() == 3 * 64 * 64 + 3 * 32 * 32
+
+    def test_embedding_output_and_table(self):
+        op = Embedding("e", TensorSpec("tokens", (1, 16), DType.INT8),
+                       vocab=100, dim=8)
+        assert op.infer_output().shape == (1, 16, 8)
+        assert op.weight_bytes() == 100 * 8
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=64),
+    n=st.integers(min_value=1, max_value=64),
+    k=st.integers(min_value=1, max_value=64),
+)
+def test_gemm_macs_property(m, n, k):
+    op = GeMM("g", TensorSpec("x", (m, k)), n=n)
+    assert op.macs() == m * n * k
+    assert op.infer_output().elements == m * n
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    size=st.integers(min_value=8, max_value=64),
+    kernel=st.integers(min_value=1, max_value=5),
+    stride=st.integers(min_value=1, max_value=3),
+)
+def test_conv_output_never_larger_than_input_without_padding(size, kernel, stride):
+    if kernel > size:
+        return
+    op = Conv2D("c", TensorSpec("x", (1, 3, size, size)), out_channels=4,
+                kernel=kernel, stride=stride, padding=0)
+    out = op.infer_output()
+    assert out.shape[2] <= size and out.shape[3] <= size

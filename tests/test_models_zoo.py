@@ -1,0 +1,127 @@
+"""Model-zoo sanity: every Table 1 model builds with credible footprints."""
+
+import pytest
+
+from repro.models.zoo import (
+    frame_stack_cnn,
+    gpt2_decoder,
+    image_preprocess,
+    inception_v3,
+    logistic_regression,
+    mlp,
+    resnet50,
+    tabular_preprocess,
+    text_preprocess,
+    transformer_seq2seq,
+    vit,
+    yolo_detector,
+)
+
+ALL_MODELS = [
+    logistic_regression,
+    resnet50,
+    inception_v3,
+    yolo_detector,
+    frame_stack_cnn,
+    gpt2_decoder,
+    transformer_seq2seq,
+    vit,
+]
+
+
+@pytest.mark.parametrize("builder", ALL_MODELS)
+def test_model_builds_and_validates(builder):
+    graph = builder()
+    assert len(graph) > 0
+    assert graph.stats().total_flops > 0
+
+
+def test_resnet50_workload_magnitude():
+    stats = resnet50().stats()
+    # ~2-8 GMACs and ~20-30M int8 parameters for the folded model.
+    assert 2e9 < stats.total_macs < 8e9
+    assert 15e6 < stats.weight_bytes < 40e6
+
+
+def test_inception_v3_magnitude():
+    stats = inception_v3().stats()
+    assert 2e9 < stats.total_macs < 8e9
+
+
+def test_yolo_is_heaviest_cnn():
+    assert yolo_detector(416).stats().total_macs > resnet50().stats().total_macs
+
+
+def test_yolo_resolution_scales_work():
+    assert yolo_detector(416).stats().total_macs > yolo_detector(320).stats().total_macs
+
+
+def test_gpt2_weights_dominate_activations():
+    stats = gpt2_decoder(seq=64, dim=768, layers=12, heads=12).stats()
+    assert stats.weight_bytes > 50e6  # >50M parameters (int8 bytes)
+    assert stats.weight_bytes > stats.input_bytes * 100
+
+
+def test_gpt2_layers_scale_macs():
+    small = gpt2_decoder(seq=64, dim=768, layers=6, heads=12).stats().total_macs
+    large = gpt2_decoder(seq=64, dim=768, layers=12, heads=12).stats().total_macs
+    assert large > 1.5 * small
+
+
+def test_seq2seq_has_encoder_and_decoder_work():
+    stats = transformer_seq2seq(
+        src_seq=128, tgt_seq=128, dim=512, encoder_layers=4, decoder_layers=4, heads=8
+    ).stats()
+    assert stats.total_macs > 1e9
+
+
+def test_vit_patch_divisibility_enforced():
+    with pytest.raises(ValueError):
+        vit(image_size=225, patch=16)
+
+
+def test_vit_base_magnitude():
+    stats = vit(224).stats()
+    # ViT-Base: ~86M params, ~17 GMACs.
+    assert 60e6 < stats.weight_bytes < 120e6
+    assert 10e9 < stats.total_macs < 25e9
+
+
+def test_frame_stack_scales_with_frames():
+    two = frame_stack_cnn(frames=2).stats().total_macs
+    four = frame_stack_cnn(frames=4).stats().total_macs
+    assert four == pytest.approx(2 * two, rel=0.05)
+
+
+def test_logistic_regression_is_tiny():
+    stats = logistic_regression().stats()
+    assert stats.total_macs < 1e6
+
+
+def test_mlp_builds_with_hidden_layers():
+    graph = mlp(rows=16, features=8, hidden=(32, 16), classes=4)
+    assert graph.output.shape == (16, 4)
+
+
+@pytest.mark.parametrize(
+    "builder,args",
+    [
+        (image_preprocess, (224,)),
+        (text_preprocess, (128,)),
+        (tabular_preprocess, (256, 32)),
+    ],
+)
+def test_preprocess_graphs_are_vector_only(builder, args):
+    graph = builder(*args)
+    assert graph.stats().num_matrix_ops == 0
+    assert graph.stats().total_vector_elements > 0
+
+
+def test_image_preprocess_quantizes_output():
+    graph = image_preprocess(224, raw_size=512)
+    assert graph.output.dtype.num_bytes == 1
+
+
+def test_image_preprocess_output_shape():
+    graph = image_preprocess(128, raw_size=256, channels=3)
+    assert graph.output.shape == (1, 3, 128, 128)

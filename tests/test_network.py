@@ -1,0 +1,109 @@
+"""Network, serialisation, and RPC stack models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.latency import NetworkModel
+from repro.network.rpc import RPCStack
+from repro.network.serialization import SerializationModel
+from repro.units import MB
+
+
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestNetworkModel:
+    def test_transfer_time_linear_in_bytes(self):
+        net = NetworkModel()
+        assert net.transfer_seconds(2 * MB) == pytest.approx(
+            2 * net.transfer_seconds(1 * MB), rel=1e-6
+        )
+
+    def test_sample_includes_rtt_floor(self):
+        net = NetworkModel()
+        samples = net.sample_latency_many(0, rng(), 1000)
+        assert samples.min() > net.rtt.floor
+
+    def test_median_latency_analytic(self):
+        net = NetworkModel()
+        samples = net.sample_latency_many(1 * MB, rng(), 50_000)
+        assert np.median(samples) == pytest.approx(
+            net.median_latency(1 * MB), rel=0.05
+        )
+
+    def test_tail_ratio_honored(self):
+        net = NetworkModel()
+        samples = net.sample_latency_many(0, rng(), 200_000)
+        ratio = np.percentile(samples, 99) / np.median(samples)
+        assert ratio == pytest.approx(2.1, rel=0.1)
+
+    def test_with_tail_ratio_changes_p99_only(self):
+        net = NetworkModel()
+        heavy = net.with_tail_ratio(4.0)
+        assert heavy.rtt.median() == net.rtt.median()
+        assert heavy.rtt.p99() > net.rtt.p99()
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(bandwidth_bytes_per_s=0)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel().transfer_seconds(-1)
+
+
+class TestSerialization:
+    def test_cost_scales_with_bytes(self):
+        ser = SerializationModel()
+        assert ser.serialize_seconds(10 * MB) > ser.serialize_seconds(1 * MB)
+
+    def test_per_message_floor(self):
+        ser = SerializationModel()
+        assert ser.serialize_seconds(0) == ser.per_message_seconds
+
+    def test_round_trip_counts_both_sides(self):
+        ser = SerializationModel()
+        rt = ser.round_trip_seconds(512, 1 * MB)
+        one_side = ser.serialize_seconds(512) + ser.deserialize_seconds(1 * MB)
+        assert rt == pytest.approx(2 * one_side, rel=0.2)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ConfigurationError):
+            SerializationModel().serialize_seconds(-5)
+
+
+class TestRPCStack:
+    def test_request_exceeds_pure_network(self):
+        stack = RPCStack()
+        assert stack.median_request(1 * MB) > stack.network.median_latency(1 * MB)
+
+    def test_sample_many_matches_single_distribution(self):
+        stack = RPCStack()
+        many = stack.sample_request_many(1 * MB, rng(), 20_000)
+        assert np.median(many) == pytest.approx(
+            stack.median_request(1 * MB), rel=0.05
+        )
+
+    def test_payload_monotonicity(self):
+        stack = RPCStack()
+        assert stack.median_request(16 * MB) > stack.median_request(1 * MB)
+
+    def test_with_tail_ratio_preserves_median(self):
+        stack = RPCStack()
+        heavy = stack.with_tail_ratio(4.0)
+        assert heavy.median_request(MB) == pytest.approx(
+            stack.median_request(MB), rel=1e-6
+        )
+
+    def test_fig3_band_for_typical_payloads(self):
+        # Multi-MB S3-style reads should land in the paper's 0.02-0.2 s band.
+        stack = RPCStack()
+        for payload in (1 * MB, 4 * MB, 8 * MB):
+            median = stack.median_request(payload)
+            assert 0.015 < median < 0.2
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RPCStack().sample_request(-1, rng())

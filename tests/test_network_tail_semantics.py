@@ -1,0 +1,81 @@
+"""Congestion-multiplier semantics: the tail model behind Figs. 3 and 15."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.latency import NetworkModel
+from repro.network.rpc import RPCStack
+from repro.units import MB
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+def test_multiplier_has_unit_median():
+    net = NetworkModel()
+    multipliers = net.sample_multipliers(rng(), 100_000)
+    assert np.median(multipliers) == pytest.approx(1.0, rel=0.02)
+
+
+def test_multiplier_p99_matches_tail_ratio():
+    net = NetworkModel()
+    multipliers = net.sample_multipliers(rng(), 300_000)
+    assert np.percentile(multipliers, 99) == pytest.approx(2.1, rel=0.05)
+
+
+def test_tail_applies_at_every_payload_size():
+    """Fig. 3's observation: the p99/median gap holds for big objects too."""
+    net = NetworkModel()
+    for payload in (64 * 1024, 1 * MB, 16 * MB):
+        samples = net.sample_latency_many(payload, rng(), 50_000)
+        ratio = np.percentile(samples, 99) / np.median(samples)
+        assert ratio == pytest.approx(2.1, rel=0.1), payload
+
+
+def test_shared_multiplier_amplifies_sums():
+    """Correlated accesses make a request's total tail-heavy; independent
+    draws would concentrate (CLT) — the mechanism behind Fig. 15."""
+    stack = RPCStack()
+    generator = rng()
+    shared = stack.network.sample_multipliers(generator, 50_000)
+    correlated_total = sum(
+        np.asarray(stack.request_with_multiplier(1 * MB, shared))
+        for _ in range(6)
+    )
+    independent_total = sum(
+        stack.sample_request_many(1 * MB, generator, 50_000) for _ in range(6)
+    )
+    corr_ratio = np.percentile(correlated_total, 99) / np.median(correlated_total)
+    ind_ratio = np.percentile(independent_total, 99) / np.median(
+        independent_total
+    )
+    assert corr_ratio > ind_ratio
+
+
+def test_multiplier_request_is_deterministic_given_multiplier():
+    stack = RPCStack()
+    a = stack.request_with_multiplier(1 * MB, 1.5)
+    b = stack.request_with_multiplier(1 * MB, 1.5)
+    assert a == b
+
+
+@settings(max_examples=30, deadline=None)
+@given(multiplier=st.floats(min_value=0.1, max_value=20.0))
+def test_request_latency_positive_for_any_multiplier(multiplier):
+    stack = RPCStack()
+    assert stack.request_with_multiplier(1 * MB, multiplier) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    payload=st.integers(min_value=0, max_value=20 * 1024 * 1024),
+    multiplier=st.floats(min_value=0.5, max_value=5.0),
+)
+def test_request_monotone_in_payload_under_fixed_weather(payload, multiplier):
+    stack = RPCStack()
+    smaller = stack.request_with_multiplier(payload, multiplier)
+    larger = stack.request_with_multiplier(payload + 1024, multiplier)
+    assert larger > smaller

@@ -1,0 +1,151 @@
+"""Platform models: roofline family, DSA family, Table 2 registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.zoo import logistic_regression, resnet50
+from repro.platforms.base import AnalyticalPlatform, PlatformKind
+from repro.platforms.dsa import DSAPlatform
+from repro.platforms.registry import (
+    PLATFORM_BUILDERS,
+    baseline_cpu,
+    dscs_dsa,
+    fpga_u280,
+    gpu_2080ti,
+    ns_arm,
+    ns_fpga_smartssd,
+    ns_mobile_gpu,
+    table2_platforms,
+)
+
+
+class TestAnalyticalPlatform:
+    def test_latency_positive(self):
+        assert baseline_cpu().compute_latency_seconds(resnet50()) > 0
+
+    def test_heavier_model_slower(self):
+        cpu = baseline_cpu()
+        light = cpu.compute_latency_seconds(logistic_regression())
+        heavy = cpu.compute_latency_seconds(resnet50())
+        assert heavy > light
+
+    def test_batching_improves_per_sample_latency(self):
+        cpu = baseline_cpu()
+        single = cpu.compute_latency_seconds(resnet50(), batch=1)
+        batched = cpu.compute_latency_seconds(resnet50(), batch=16)
+        assert batched / 16 < single
+
+    def test_batch_gain_saturates(self):
+        cpu = baseline_cpu()
+        g64 = cpu._batch_efficiency(64)
+        assert g64 <= cpu.max_batch_speedup
+
+    def test_faster_platform_lower_latency(self):
+        slow = ns_arm()
+        fast = baseline_cpu()
+        assert fast.compute_latency_seconds(resnet50()) < slow.compute_latency_seconds(
+            resnet50()
+        )
+
+    def test_energy_is_power_times_latency(self):
+        cpu = baseline_cpu()
+        latency = cpu.compute_latency_seconds(resnet50())
+        assert cpu.compute_energy_joules(resnet50()) == pytest.approx(
+            cpu.active_power_watts * latency
+        )
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            baseline_cpu().compute_latency_seconds(resnet50(), batch=0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticalPlatform(effective_flops=0)
+
+    def test_cpu_is_not_accelerator(self):
+        assert not baseline_cpu().is_accelerator
+        assert gpu_2080ti().is_accelerator
+
+
+class TestDSAPlatform:
+    def test_reports_cached_per_graph_and_batch(self):
+        platform = dscs_dsa()
+        first = platform.execution_report(resnet50())
+        second = platform.execution_report(resnet50())
+        assert first is second
+
+    def test_compute_derate_applies(self):
+        fast = dscs_dsa()
+        graph = resnet50()
+        base = fast.compute_latency_seconds(graph)
+        derated = DSAPlatform(
+            name="x", dsa_config=fast.dsa_config, compute_derate=2.0
+        ).compute_latency_seconds(graph)
+        assert derated == pytest.approx(2 * base, rel=1e-6)
+
+    def test_derate_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DSAPlatform(compute_derate=0.5)
+
+    def test_fixed_power_used_for_fpga_energy(self):
+        fpga = ns_fpga_smartssd()
+        graph = logistic_regression()
+        energy = fpga.compute_energy_joules(graph)
+        latency = fpga.compute_latency_seconds(graph)
+        assert energy == pytest.approx(25.0 * latency)
+
+    def test_asic_energy_from_cycle_simulation(self):
+        dscs = dscs_dsa()
+        report = dscs.execution_report(resnet50())
+        assert dscs.compute_energy_joules(resnet50()) == pytest.approx(
+            report.energy_j
+        )
+
+    def test_active_power_small_for_asic(self):
+        # The paper quotes ~4.2 W for the in-storage DSA.
+        assert 1.0 < dscs_dsa().active_power_watts < 10.0
+
+
+class TestRegistry:
+    def test_seven_platforms(self):
+        platforms = table2_platforms()
+        assert len(platforms) == 7
+        assert len({p.name for p in platforms}) == 7
+
+    def test_builders_match_names(self):
+        for name, builder in PLATFORM_BUILDERS.items():
+            assert builder().name == name
+
+    def test_kinds(self):
+        assert baseline_cpu().kind is PlatformKind.TRADITIONAL
+        assert gpu_2080ti().kind is PlatformKind.TRADITIONAL
+        assert fpga_u280().kind is PlatformKind.TRADITIONAL
+        assert ns_arm().kind is PlatformKind.NEAR_STORAGE
+        assert ns_mobile_gpu().kind is PlatformKind.NEAR_STORAGE
+        assert ns_fpga_smartssd().kind is PlatformKind.NEAR_STORAGE
+        assert dscs_dsa().kind is PlatformKind.DSCS
+
+    def test_gpu_power_is_250w(self):
+        assert gpu_2080ti().active_power_watts == 250.0
+
+    def test_dscs_runs_paper_design_point(self):
+        config = dscs_dsa().dsa_config
+        assert (config.pe_rows, config.pe_cols) == (128, 128)
+        assert config.memory.name == "DDR5"
+        assert config.tech_node_nm == 14
+
+    def test_fpga_platforms_run_smaller_slower_arrays(self):
+        u280 = fpga_u280().dsa_config
+        smartssd = ns_fpga_smartssd().dsa_config
+        dscs = dscs_dsa().dsa_config
+        assert u280.num_pes < dscs.num_pes
+        assert smartssd.frequency_hz < dscs.frequency_hz
+
+    def test_raw_compute_ordering_on_resnet(self):
+        # Pure device compute: DSA fastest, ARM slowest.
+        graph = resnet50()
+        dscs = dscs_dsa().compute_latency_seconds(graph)
+        gpu = gpu_2080ti().compute_latency_seconds(graph)
+        cpu = baseline_cpu().compute_latency_seconds(graph)
+        arm = ns_arm().compute_latency_seconds(graph)
+        assert dscs < gpu < cpu < arm

@@ -1,0 +1,139 @@
+"""Cross-cutting property-based invariants on the core data structures.
+
+These are the "laws" of the system: monotonicity of latency in payload
+size and batch, conservation of work through compilation, scheduler
+conservation of requests, and simulator determinism.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator.config import DSAConfig, paper_design_point
+from repro.compiler.codegen import generate
+from repro.core.fabric import StorageFabric
+from repro.core.model import ServerlessExecutionModel
+from repro.experiments.benchmarks import build_application
+from repro.models.builder import GraphBuilder
+from repro.models.tensor import DType, TensorSpec
+from repro.platforms.registry import baseline_cpu, dscs_dsa
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=256),
+    k=st.integers(min_value=1, max_value=256),
+    n=st.integers(min_value=1, max_value=256),
+)
+def test_compilation_conserves_macs(m, k, n):
+    """Tiling and padding never change the MAC count."""
+    builder = GraphBuilder("g", TensorSpec("x", (m, k), DType.INT8))
+    builder.linear(n)
+    graph = builder.build()
+    program = generate(graph, paper_design_point())
+    macs, _, _ = program.totals()
+    assert macs == graph.stats().total_macs
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.sampled_from([16, 32, 64, 128]),
+    cols=st.sampled_from([16, 32, 64, 128]),
+)
+def test_compiled_latency_positive_on_any_array(rows, cols):
+    from repro.compiler import compile_graph
+
+    builder = GraphBuilder("g", TensorSpec("x", (64, 96), DType.INT8))
+    builder.linear(80).relu()
+    report = compile_graph(builder.build(), DSAConfig(pe_rows=rows, pe_cols=cols)).simulate()
+    assert report.latency_s > 0
+    assert report.total_macs == 64 * 96 * 80
+
+
+@settings(max_examples=10, deadline=None)
+@given(payload=st.integers(min_value=1, max_value=32 * 1024 * 1024))
+def test_remote_read_monotone_in_payload(payload):
+    fabric = StorageFabric()
+    smaller = fabric.median_remote_read_seconds(payload)
+    larger = fabric.median_remote_read_seconds(payload + 1024 * 1024)
+    assert larger > smaller
+
+
+@settings(max_examples=10, deadline=None)
+@given(multiplier=st.floats(min_value=0.2, max_value=10.0))
+def test_remote_read_monotone_in_congestion(multiplier):
+    fabric = StorageFabric()
+    base = fabric.remote_read_with_multiplier(1024 * 1024, multiplier)
+    heavier = fabric.remote_read_with_multiplier(1024 * 1024, multiplier * 1.5)
+    assert heavier > base
+
+
+@pytest.mark.parametrize("platform_builder", [baseline_cpu, dscs_dsa])
+def test_e2e_latency_monotone_in_batch(platform_builder):
+    app = build_application("Clinical Analysis")
+    model = ServerlessExecutionModel(platform=platform_builder())
+    rng = np.random.default_rng(0)
+    latencies = [
+        model.invoke(app, np.random.default_rng(0), batch=b).latency_seconds
+        for b in (1, 4, 16)
+    ]
+    assert latencies == sorted(latencies)
+
+
+def test_per_sample_latency_improves_with_batch():
+    app = build_application("Conversational Chatbot")
+    model = ServerlessExecutionModel(platform=dscs_dsa())
+    per_sample = [
+        model.invoke(app, np.random.default_rng(0), batch=b).latency_seconds / b
+        for b in (1, 8, 32)
+    ]
+    assert per_sample == sorted(per_sample, reverse=True)
+
+
+def test_invoke_deterministic_for_fixed_seed():
+    app = build_application("Remote Sensing")
+    model = ServerlessExecutionModel(platform=baseline_cpu())
+    a = model.invoke(app, np.random.default_rng(123)).latency_seconds
+    b = model.invoke(app, np.random.default_rng(123)).latency_seconds
+    assert a == b
+
+
+def test_sample_latencies_deterministic_for_fixed_seed():
+    app = build_application("Remote Sensing")
+    model = ServerlessExecutionModel(platform=baseline_cpu())
+    a = model.sample_latencies(app, np.random.default_rng(9), 64)
+    b = model.sample_latencies(app, np.random.default_rng(9), 64)
+    assert np.array_equal(a, b)
+
+
+def test_energy_positive_across_all_platforms():
+    from repro.platforms.registry import table2_platforms
+
+    app = build_application("Document Translation")
+    for platform in table2_platforms():
+        model = ServerlessExecutionModel(platform=platform)
+        result = model.invoke(app, np.random.default_rng(1))
+        assert result.energy_joules > 0, platform.name
+
+
+def test_cold_always_slower_than_warm_across_platforms():
+    from repro.platforms.registry import table2_platforms
+
+    app = build_application("Asset Damage Detection")
+    for platform in table2_platforms():
+        model = ServerlessExecutionModel(platform=platform)
+        warm = model.invoke(app, np.random.default_rng(2)).latency_seconds
+        cold = model.invoke(app, np.random.default_rng(2), cold=True).latency_seconds
+        assert cold > warm, platform.name
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_breakdown_total_is_sum_of_components(seed):
+    app = build_application("Credit Risk Assessment")
+    model = ServerlessExecutionModel(platform=dscs_dsa())
+    result = model.invoke(app, np.random.default_rng(seed))
+    assert result.latency_seconds == pytest.approx(
+        sum(result.latency.seconds.values())
+    )

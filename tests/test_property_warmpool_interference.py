@@ -1,0 +1,83 @@
+"""Property-based tests for the warm pool and interference models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.interference import (
+    CoLocatedFunctionLoad,
+    StorageNodeCPU,
+    StorageTrafficProfile,
+)
+from repro.serverless.coldstart import ColdStartModel
+from repro.serverless.warmpool import WarmPool
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    gaps=st.lists(
+        st.floats(min_value=0.1, max_value=2000.0), min_size=1, max_size=40
+    ),
+    window=st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_cold_count_matches_gap_analysis(gaps, window):
+    """For a single function, cold starts are exactly: the first
+    invocation plus every gap exceeding the keep-alive window."""
+    pool = WarmPool(coldstart=ColdStartModel(warm_window_seconds=window))
+    times = np.cumsum(gaps)
+    timeline = [(float(t), "f") for t in times]
+    stats = pool.replay(timeline)
+    expected_cold = 1 + sum(1 for gap in gaps[1:] if gap > window)
+    assert stats.cold_invocations == expected_cold
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    names=st.lists(
+        st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=60
+    )
+)
+def test_cold_fraction_bounded(names):
+    pool = WarmPool(coldstart=ColdStartModel(warm_window_seconds=50.0))
+    timeline = [(float(i), name) for i, name in enumerate(names)]
+    stats = pool.replay(timeline)
+    assert 0.0 <= stats.cold_fraction <= 1.0
+    assert stats.flash_reloads <= stats.cold_invocations
+    # At least one cold start per distinct function.
+    assert stats.cold_invocations >= len(set(names))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rate=st.floats(min_value=0.0, max_value=20.0),
+    per_invocation=st.floats(min_value=0.0, max_value=0.2),
+)
+def test_interference_monotone_in_co_located_load(rate, per_invocation):
+    cpu = StorageNodeCPU(cores=8)
+    traffic = StorageTrafficProfile()
+    light = CoLocatedFunctionLoad(rate, per_invocation)
+    heavy = CoLocatedFunctionLoad(rate, per_invocation * 2 + 0.01)
+    light_result = cpu.interference(traffic, light)
+    heavy_result = cpu.interference(traffic, heavy)
+    if not heavy_result.saturated:
+        assert (
+            heavy_result.combined_latency_seconds
+            >= light_result.combined_latency_seconds
+        )
+    assert light_result.baseline_latency_seconds == pytest.approx(
+        heavy_result.baseline_latency_seconds
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(cores=st.integers(min_value=1, max_value=64))
+def test_more_cores_never_hurt(cores):
+    traffic = StorageTrafficProfile(requests_per_second=500)
+    load = CoLocatedFunctionLoad(5.0, 0.02)
+    small = StorageNodeCPU(cores=cores).interference(traffic, load)
+    large = StorageNodeCPU(cores=cores + 8).interference(traffic, load)
+    if not small.saturated:
+        assert (
+            large.combined_latency_seconds <= small.combined_latency_seconds
+        )

@@ -1,0 +1,98 @@
+"""Public-API surface checks: everything advertised imports and works."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert getattr(repro, name) is not None, name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.accelerator",
+        "repro.analysis",
+        "repro.cli",
+        "repro.cluster",
+        "repro.compiler",
+        "repro.core",
+        "repro.dse",
+        "repro.experiments",
+        "repro.models",
+        "repro.models.zoo",
+        "repro.network",
+        "repro.platforms",
+        "repro.serverless",
+        "repro.sim",
+        "repro.storage",
+    ],
+)
+def test_subpackages_import(module):
+    imported = importlib.import_module(module)
+    assert imported.__doc__, f"{module} is missing a module docstring"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.accelerator",
+        "repro.cluster",
+        "repro.core",
+        "repro.models",
+        "repro.network",
+        "repro.platforms",
+        "repro.serverless",
+        "repro.sim",
+        "repro.storage",
+    ],
+)
+def test_subpackage_all_exports_resolve(module):
+    imported = importlib.import_module(module)
+    for name in getattr(imported, "__all__", []):
+        assert getattr(imported, name) is not None, f"{module}.{name}"
+
+
+def test_quickstart_docstring_flow():
+    """The README/module-docstring quickstart actually runs."""
+    import numpy as np
+
+    app = repro.benchmark_suite()["Remote Sensing"]
+    dscs = repro.ServerlessExecutionModel(platform=repro.dscs_dsa())
+    cpu = repro.ServerlessExecutionModel(platform=repro.baseline_cpu())
+    rng = np.random.default_rng(0)
+    ratio = (
+        cpu.invoke(app, rng).latency_seconds
+        / dscs.invoke(app, rng).latency_seconds
+    )
+    assert ratio > 1.5
+
+
+def test_paper_design_point_compiles_all_public_models():
+    from repro.models import zoo
+
+    config = repro.paper_design_point()
+    model_builders = [
+        zoo.resnet50,
+        lambda: zoo.vit(dim=384, layers=4, heads=6),
+        lambda: zoo.gpt2_decoder(seq=32, dim=256, layers=2, heads=4, vocab=1000),
+        lambda: zoo.bert_encoder(seq=32, dim=256, layers=2, heads=4, vocab=1000),
+        lambda: zoo.unet(image_size=64, depth=2),
+        lambda: zoo.dlrm(embedding_rows=1000),
+        zoo.logistic_regression,
+        lambda: zoo.mlp(rows=8, features=8, hidden=(16,), classes=2),
+    ]
+    for builder in model_builders:
+        graph = builder()
+        executable = repro.compile_graph(graph, config, verify=True)
+        assert executable.simulate().latency_s > 0

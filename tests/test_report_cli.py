@@ -1,0 +1,97 @@
+"""Result serialisation and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import report
+from repro import cli
+
+ROWS = [
+    {"platform": "CPU", "speedup": 1.0},
+    {"platform": "DSCS", "speedup": 3.8},
+]
+
+
+class TestReport:
+    def test_json_round_trip(self, tmp_path):
+        path = report.write_json(ROWS, tmp_path / "out.json")
+        assert report.read_json(path) == ROWS
+
+    def test_csv_written_with_header(self, tmp_path):
+        path = report.write_csv(ROWS, tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "platform,speedup"
+        assert len(lines) == 3
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = report.write_json(ROWS, tmp_path / "nested/dir/out.json")
+        assert path.exists()
+
+    def test_markdown_table(self):
+        text = report.to_markdown(ROWS, title="Speedups")
+        assert "### Speedups" in text
+        assert "| platform | speedup |" in text
+        assert "| DSCS | 3.8 |" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            report.write_json([], "out.json")
+
+    def test_inconsistent_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            report.to_markdown([{"a": 1}, {"b": 2}])
+
+    def test_read_non_array_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(ConfigurationError):
+            report.read_json(path)
+
+    def test_speedup_rows_flatten(self):
+        rows = report.speedup_rows({"CPU": {"app": 1.0}, "DSCS": {"app": 3.84}})
+        assert rows[1] == {"platform": "DSCS", "app": 3.84}
+
+    def test_speedup_rows_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            report.speedup_rows({})
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "table1" in out
+
+    def test_table1_prints_markdown(self, capsys):
+        assert cli.main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "| benchmark |" in out
+        assert "Remote Sensing" in out
+
+    def test_table2_prints_platforms(self, capsys):
+        assert cli.main(["table2"]) == 0
+        assert "DSCS-Serverless" in capsys.readouterr().out
+
+    def test_fig03_with_json_output(self, tmp_path, capsys):
+        target = tmp_path / "fig03.json"
+        assert cli.main(["fig03", "--samples", "200", "--json", str(target)]) == 0
+        rows = report.read_json(target)
+        assert len(rows) == 8
+        assert {"benchmark", "median_ms", "p99_ms", "tail_ratio"} == set(rows[0])
+
+    def test_fig04_runs(self, capsys):
+        assert cli.main(["fig04"]) == 0
+        assert "communication" in capsys.readouterr().out
+
+    def test_fig14_with_csv_output(self, tmp_path, capsys):
+        target = tmp_path / "fig14.csv"
+        assert cli.main(["fig14", "--samples", "50", "--csv", str(target)]) == 0
+        lines = target.read_text().strip().splitlines()
+        assert lines[0] == "batch,geomean_speedup"
+        assert len(lines) == 8  # header + 7 batch sizes
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figNaN"])

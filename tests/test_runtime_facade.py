@@ -1,0 +1,114 @@
+"""End-to-end ServerlessPlatform facade: deploy, upload, invoke."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeploymentError
+from repro.experiments.benchmarks import build_application
+from repro.platforms.registry import baseline_cpu, dscs_dsa
+from repro.serverless.runtime import ServerlessPlatform
+from repro.storage.drive import DSCSDrive, SSDDrive
+from repro.storage.node import StorageNode
+from repro.storage.object_store import ObjectStore
+
+
+@pytest.fixture()
+def platform():
+    nodes = [StorageNode(drives=[SSDDrive()]) for _ in range(2)]
+    nodes.append(StorageNode(drives=[SSDDrive(), DSCSDrive()]))
+    return ServerlessPlatform(
+        store=ObjectStore(nodes),
+        accelerated_platform=dscs_dsa(),
+        fallback_platform=baseline_cpu(),
+    )
+
+
+@pytest.fixture()
+def app():
+    return build_application("Clinical Analysis")
+
+
+def test_deploy_and_list(platform, app):
+    platform.deploy(app)
+    assert app.name in platform.deployed_applications()
+
+
+def test_double_deploy_rejected(platform, app):
+    platform.deploy(app)
+    with pytest.raises(DeploymentError):
+        platform.deploy(app)
+
+
+def test_invoke_undeployed_rejected(platform):
+    with pytest.raises(DeploymentError):
+        platform.invoke("ghost", "key", np.random.default_rng(0))
+
+
+def test_upload_places_dscs_replica(platform, app):
+    platform.deploy(app)
+    key = platform.upload_request(app.name, app.input_bytes)
+    meta = platform.store.get_meta(key)
+    assert meta.accelerated_replica() is not None
+
+
+def test_accelerated_invocation_path(platform, app):
+    platform.deploy(app)
+    key = platform.upload_request(app.name, app.input_bytes)
+    result = platform.invoke(app.name, key, np.random.default_rng(1))
+    assert result.platform == "DSCS-Serverless"
+    scraped = platform.telemetry.scrape()
+    assert sum(scraped.get("accelerated_invocations", {}).values()) == 1
+
+
+def test_fallback_when_no_dscs_replica(app):
+    nodes = [StorageNode(drives=[SSDDrive()]) for _ in range(3)]
+    platform = ServerlessPlatform(
+        store=ObjectStore(nodes),
+        accelerated_platform=dscs_dsa(),
+        fallback_platform=baseline_cpu(),
+    )
+    platform.deploy(app)
+    key = platform.upload_request(app.name, app.input_bytes)
+    result = platform.invoke(app.name, key, np.random.default_rng(1))
+    assert result.platform == "Baseline (CPU)"
+    scraped = platform.telemetry.scrape()
+    assert sum(scraped.get("fallback_invocations", {}).values()) == 1
+
+
+def test_busy_drive_falls_back(platform, app):
+    platform.deploy(app)
+    key = platform.upload_request(app.name, app.input_bytes)
+    meta = platform.store.get_meta(key)
+    meta.accelerated_replica().drive.mark_busy()
+    result = platform.invoke(app.name, key, np.random.default_rng(2))
+    assert result.platform == "Baseline (CPU)"
+    meta.accelerated_replica().drive.mark_idle()
+
+
+def test_drive_released_after_invocation(platform, app):
+    platform.deploy(app)
+    key = platform.upload_request(app.name, app.input_bytes)
+    platform.invoke(app.name, key, np.random.default_rng(3))
+    meta = platform.store.get_meta(key)
+    assert not meta.accelerated_replica().drive.busy
+
+
+def test_accelerated_faster_than_fallback(platform, app):
+    platform.deploy(app)
+    key = platform.upload_request(app.name, app.input_bytes)
+    rng = np.random.default_rng(4)
+    accelerated = platform.invoke(app.name, key, rng)
+    meta = platform.store.get_meta(key)
+    meta.accelerated_replica().drive.mark_busy()
+    fallback = platform.invoke(app.name, key, rng)
+    meta.accelerated_replica().drive.mark_idle()
+    assert accelerated.latency_seconds < fallback.latency_seconds
+
+
+def test_invocation_counter_accumulates(platform, app):
+    platform.deploy(app)
+    key = platform.upload_request(app.name, app.input_bytes)
+    rng = np.random.default_rng(5)
+    for _ in range(3):
+        platform.invoke(app.name, key, rng)
+    assert platform.telemetry.counter("invocations", app.name) == 3

@@ -1,0 +1,136 @@
+"""Functions, applications, and deployment manifests."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.models.zoo import logistic_regression, resnet50
+from repro.serverless.application import Application
+from repro.serverless.deployment import DeploymentManifest, FunctionConfig
+from repro.serverless.function import FunctionRole, ServerlessFunction
+from repro.units import KB, MB
+
+
+def make_app():
+    functions = (
+        ServerlessFunction(
+            name="app/pre",
+            role=FunctionRole.PREPROCESS,
+            graph=logistic_regression(rows=64, features=8),
+            acceleratable=True,
+        ),
+        ServerlessFunction(
+            name="app/infer",
+            role=FunctionRole.INFERENCE,
+            graph=resnet50(),
+            acceleratable=True,
+        ),
+        ServerlessFunction(
+            name="app/notify", role=FunctionRole.NOTIFICATION, graph=None
+        ),
+    )
+    return Application.chain(
+        "app", functions, input_bytes=4 * MB, edge_bytes=(150 * KB, 4 * KB, 1 * KB)
+    )
+
+
+class TestServerlessFunction:
+    def test_acceleratable_requires_graph(self):
+        with pytest.raises(DeploymentError):
+            ServerlessFunction(
+                name="f", role=FunctionRole.NOTIFICATION, acceleratable=True
+            )
+
+    def test_input_bytes_from_graph(self):
+        function = ServerlessFunction(
+            name="f", role=FunctionRole.INFERENCE, graph=resnet50()
+        )
+        assert function.input_bytes == resnet50().input.size_bytes
+
+    def test_notification_default_input(self):
+        function = ServerlessFunction(name="f", role=FunctionRole.NOTIFICATION)
+        assert function.input_bytes == 1024
+        assert function.weight_bytes == 0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DeploymentError):
+            ServerlessFunction(name="", role=FunctionRole.NOTIFICATION)
+
+
+class TestApplication:
+    def test_edge_payload_lookup(self):
+        app = make_app()
+        assert app.function_input_bytes(0) == 4 * MB
+        assert app.function_input_bytes(1) == 150 * KB
+        assert app.function_output_bytes(2) == 1 * KB
+
+    def test_accelerated_functions(self):
+        assert len(make_app().accelerated_functions) == 2
+
+    def test_inference_function_found(self):
+        assert make_app().inference_function.role is FunctionRole.INFERENCE
+
+    def test_edge_count_validated(self):
+        functions = make_app().functions
+        with pytest.raises(DeploymentError):
+            Application.chain("bad", functions, 4 * MB, edge_bytes=(1, 2))
+
+    def test_extra_inference_stages(self):
+        app = make_app()
+        extended = app.with_extra_inference_stages(2)
+        assert len(extended.functions) == 5
+        inference_count = sum(
+            1 for f in extended.functions if f.role is FunctionRole.INFERENCE
+        )
+        assert inference_count == 3
+
+    def test_extra_stage_edges_carry_tensor_payload(self):
+        app = make_app()
+        extended = app.with_extra_inference_stages(1)
+        # The duplicated stage consumes the inference input payload size.
+        assert extended.edge_bytes[1] == app.function_input_bytes(1)
+        # Final notification edge unchanged.
+        assert extended.edge_bytes[-1] == app.edge_bytes[-1]
+
+    def test_zero_extra_stages_identity(self):
+        app = make_app()
+        assert app.with_extra_inference_stages(0) is app
+
+    def test_negative_extras_rejected(self):
+        with pytest.raises(DeploymentError):
+            make_app().with_extra_inference_stages(-1)
+
+
+class TestDeployment:
+    def test_manifest_marks_acceleratable(self):
+        manifest = DeploymentManifest.for_application(make_app())
+        assert manifest.config_for("app/infer").wants_dsa
+        assert not manifest.config_for("app/notify").wants_dsa
+
+    def test_manifest_disable_acceleration(self):
+        manifest = DeploymentManifest.for_application(make_app(), accelerate=False)
+        assert not manifest.config_for("app/infer").wants_dsa
+
+    def test_container_image_includes_weights(self):
+        manifest = DeploymentManifest.for_application(make_app())
+        image = manifest.config_for("app/infer").container_image_bytes
+        assert image > resnet50().stats().weight_bytes
+
+    def test_config_round_trip(self):
+        config = FunctionConfig(
+            function_name="f", accelerator="dsa", timeout_seconds=10.0
+        )
+        restored = FunctionConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_config_from_malformed_dict(self):
+        with pytest.raises(DeploymentError):
+            FunctionConfig.from_dict({"timeout": 10})
+
+    def test_unknown_function_lookup(self):
+        manifest = DeploymentManifest.for_application(make_app())
+        with pytest.raises(DeploymentError):
+            manifest.config_for("ghost")
+
+    def test_config_validation(self):
+        with pytest.raises(DeploymentError):
+            FunctionConfig(function_name="f", timeout_seconds=0)

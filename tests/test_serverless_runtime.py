@@ -1,0 +1,187 @@
+"""Driver, cold starts, telemetry, and the function placer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serverless.coldstart import ColdStartModel
+from repro.serverless.deployment import DeploymentManifest
+from repro.serverless.driver import OpenCLDriver
+from repro.serverless.function import FunctionRole, ServerlessFunction
+from repro.serverless.scheduler import FunctionPlacer, PlacementTarget
+from repro.serverless.telemetry import TelemetryRegistry
+from repro.storage.drive import DSCSDrive, SSDDrive
+from repro.storage.node import StorageNode
+from repro.storage.object_store import ObjectStore
+from repro.models.zoo import logistic_regression
+from repro.units import MB
+
+
+class TestDriver:
+    def test_round_trip_is_dispatch_plus_completion(self):
+        driver = OpenCLDriver()
+        assert driver.round_trip_seconds() == pytest.approx(
+            driver.dispatch_seconds() + driver.completion_seconds()
+        )
+
+    def test_costs_in_millisecond_band(self):
+        # The paper attributes visible overhead to the in-storage driver.
+        assert 0.5e-3 < OpenCLDriver().round_trip_seconds() < 5e-3
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpenCLDriver(syscall_seconds=-1.0)
+
+
+class TestColdStart:
+    def test_cold_start_composition(self):
+        model = ColdStartModel()
+        total = model.cold_start_seconds(256 * MB)
+        assert total > model.pull_seconds(256 * MB)
+        assert total > model.health_check_seconds
+
+    def test_bigger_images_cost_more(self):
+        model = ColdStartModel()
+        assert model.cold_start_seconds(512 * MB) > model.cold_start_seconds(64 * MB)
+
+    def test_p2p_reload_beats_network_pull(self):
+        model = ColdStartModel()
+        drive = DSCSDrive()
+        image = 256 * MB
+        assert model.p2p_reload_seconds(image, drive) < model.cold_start_seconds(image)
+
+    def test_warm_window(self):
+        model = ColdStartModel(warm_window_seconds=600)
+        assert model.is_warm(10)
+        assert not model.is_warm(601)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ColdStartModel().is_warm(-1)
+
+    def test_negative_image_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ColdStartModel().pull_seconds(-1)
+
+
+class TestTelemetry:
+    def test_counters_accumulate(self):
+        registry = TelemetryRegistry()
+        registry.inc_counter("invocations", "node-1")
+        registry.inc_counter("invocations", "node-1", 2)
+        assert registry.counter("invocations", "node-1") == 3
+
+    def test_counters_cannot_decrease(self):
+        registry = TelemetryRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.inc_counter("invocations", "node-1", -1)
+
+    def test_busy_gauge(self):
+        registry = TelemetryRegistry()
+        registry.mark_busy("node-1", True)
+        assert registry.is_busy("node-1")
+        registry.mark_busy("node-1", False)
+        assert not registry.is_busy("node-1")
+
+    def test_health_defaults_to_healthy(self):
+        assert TelemetryRegistry().is_healthy("unknown-node")
+
+    def test_scrape_groups_by_metric(self):
+        registry = TelemetryRegistry()
+        registry.inc_counter("invocations", "a")
+        registry.set_gauge("queue", "b", 7)
+        snapshot = registry.scrape()
+        assert snapshot["invocations"]["a"] == 1
+        assert snapshot["queue"]["b"] == 7
+
+
+def build_store(with_dscs=True):
+    nodes = [StorageNode(drives=[SSDDrive()]) for _ in range(2)]
+    if with_dscs:
+        nodes.append(StorageNode(drives=[DSCSDrive()]))
+    return ObjectStore(nodes)
+
+
+def acceleratable_function():
+    return ServerlessFunction(
+        name="f/infer",
+        role=FunctionRole.INFERENCE,
+        graph=logistic_regression(rows=64, features=8),
+        acceleratable=True,
+    )
+
+
+class TestPlacer:
+    def test_places_on_dsa_when_data_colocated(self):
+        store = build_store()
+        store.put("obj", 1 * MB, acceleratable=True)
+        placer = FunctionPlacer(store=store)
+        decision = placer.place(acceleratable_function(), "obj")
+        assert decision.target is PlacementTarget.IN_STORAGE_DSA
+        assert decision.drive is not None
+
+    def test_non_acceleratable_goes_to_compute(self):
+        store = build_store()
+        store.put("obj", 1 * MB)
+        function = ServerlessFunction(name="f", role=FunctionRole.NOTIFICATION)
+        decision = FunctionPlacer(store=store).place(function, "obj")
+        assert decision.target is PlacementTarget.COMPUTE_NODE
+
+    def test_no_dscs_replica_falls_back(self):
+        store = build_store(with_dscs=False)
+        store.put("obj", 1 * MB, acceleratable=True)
+        decision = FunctionPlacer(store=store).place(acceleratable_function(), "obj")
+        assert decision.target is PlacementTarget.COMPUTE_NODE
+
+    def test_busy_dsa_falls_back(self):
+        store = build_store()
+        meta = store.put("obj", 1 * MB, acceleratable=True)
+        meta.accelerated_replica().drive.mark_busy()
+        decision = FunctionPlacer(store=store).place(acceleratable_function(), "obj")
+        assert decision.target is PlacementTarget.COMPUTE_NODE
+
+    def test_unhealthy_node_fails_over(self):
+        store = build_store()
+        meta = store.put("obj", 1 * MB, acceleratable=True)
+        node_id = meta.accelerated_replica().node.node_id
+        placer = FunctionPlacer(store=store)
+        placer.telemetry.mark_healthy(f"storage-node-{node_id}", False)
+        decision = placer.place(acceleratable_function(), "obj")
+        assert decision.target is PlacementTarget.COMPUTE_NODE
+
+    def test_multi_chunk_data_falls_back(self):
+        store = ObjectStore(
+            [StorageNode(drives=[DSCSDrive()])], chunk_bytes=1 * MB
+        )
+        store.put("big", 10 * MB, acceleratable=True)
+        decision = FunctionPlacer(store=store).place(acceleratable_function(), "big")
+        assert decision.target is PlacementTarget.COMPUTE_NODE
+
+    def test_manifest_can_veto_acceleration(self):
+        store = build_store()
+        store.put("obj", 1 * MB, acceleratable=True)
+        function = acceleratable_function()
+        from repro.serverless.application import Application
+
+        app = Application.chain(
+            "a", [function], input_bytes=MB, edge_bytes=(1024,)
+        )
+        manifest = DeploymentManifest.for_application(app, accelerate=False)
+        decision = FunctionPlacer(store=store).place(function, "obj", manifest)
+        assert decision.target is PlacementTarget.COMPUTE_NODE
+
+    def test_chain_requires_all_acceleratable(self):
+        store = build_store()
+        store.put("obj", 1 * MB, acceleratable=True)
+        chain = [
+            acceleratable_function(),
+            ServerlessFunction(name="f/notify", role=FunctionRole.NOTIFICATION),
+        ]
+        decision = FunctionPlacer(store=store).place_chain(chain, "obj")
+        assert decision.target is PlacementTarget.COMPUTE_NODE
+
+    def test_chain_of_acceleratable_lands_on_dsa(self):
+        store = build_store()
+        store.put("obj", 1 * MB, acceleratable=True)
+        chain = [acceleratable_function(), acceleratable_function()]
+        decision = FunctionPlacer(store=store).place_chain(chain, "obj")
+        assert decision.target is PlacementTarget.IN_STORAGE_DSA

@@ -1,0 +1,142 @@
+"""Latency-distribution tests, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.distributions import (
+    ConstantDistribution,
+    ExponentialDistribution,
+    LognormalDistribution,
+    ShiftedLognormal,
+    UniformDistribution,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestConstant:
+    def test_sample_returns_value(self):
+        assert ConstantDistribution(0.5).sample(rng()) == 0.5
+
+    def test_sample_many_is_uniform(self):
+        samples = ConstantDistribution(0.25).sample_many(rng(), 10)
+        assert np.all(samples == 0.25)
+
+    def test_median(self):
+        assert ConstantDistribution(1.5).median() == 1.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDistribution(-1.0)
+
+
+class TestUniform:
+    def test_samples_within_bounds(self):
+        dist = UniformDistribution(1.0, 2.0)
+        samples = dist.sample_many(rng(), 1000)
+        assert samples.min() >= 1.0 and samples.max() <= 2.0
+
+    def test_median_is_midpoint(self):
+        assert UniformDistribution(2.0, 4.0).median() == 3.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformDistribution(2.0, 1.0)
+
+
+class TestExponential:
+    def test_mean_close_to_parameter(self):
+        samples = ExponentialDistribution(0.1).sample_many(rng(), 20000)
+        assert samples.mean() == pytest.approx(0.1, rel=0.05)
+
+    def test_median_analytic(self):
+        dist = ExponentialDistribution(1.0)
+        assert dist.median() == pytest.approx(np.log(2))
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDistribution(0.0)
+
+
+class TestLognormal:
+    def test_median_is_exp_mu(self):
+        assert LognormalDistribution(0.0, 1.0).median() == 1.0
+
+    def test_empirical_median(self):
+        dist = LognormalDistribution(np.log(0.05), 0.4)
+        samples = dist.sample_many(rng(), 20000)
+        assert np.median(samples) == pytest.approx(0.05, rel=0.05)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            LognormalDistribution(0.0, -0.1)
+
+
+class TestShiftedLognormal:
+    def test_median_matches_target(self):
+        dist = ShiftedLognormal(floor=0.002, median_total=0.012, p99_over_median=2.1)
+        samples = dist.sample_many(rng(), 50000)
+        assert np.median(samples) == pytest.approx(0.012, rel=0.03)
+
+    def test_p99_matches_tail_ratio(self):
+        dist = ShiftedLognormal(floor=0.002, median_total=0.012, p99_over_median=2.1)
+        samples = dist.sample_many(rng(), 200000)
+        assert np.percentile(samples, 99) == pytest.approx(
+            2.1 * 0.012, rel=0.05
+        )
+
+    def test_samples_exceed_floor(self):
+        dist = ShiftedLognormal(floor=0.002, median_total=0.012, p99_over_median=2.1)
+        assert dist.sample_many(rng(), 1000).min() > 0.002
+
+    def test_analytic_p99(self):
+        dist = ShiftedLognormal(floor=0.001, median_total=0.01, p99_over_median=3.0)
+        assert dist.p99() == pytest.approx(0.03)
+
+    def test_scaled_preserves_tail_ratio(self):
+        dist = ShiftedLognormal(floor=0.002, median_total=0.012, p99_over_median=2.1)
+        scaled = dist.scaled(2.0)
+        assert scaled.median() == pytest.approx(0.024)
+        assert scaled.p99_over_median == 2.1
+
+    def test_rejects_median_below_floor(self):
+        with pytest.raises(ConfigurationError):
+            ShiftedLognormal(floor=0.01, median_total=0.005, p99_over_median=2.0)
+
+    def test_rejects_tail_ratio_at_most_one(self):
+        with pytest.raises(ConfigurationError):
+            ShiftedLognormal(floor=0.0, median_total=0.01, p99_over_median=1.0)
+
+    def test_rejects_bad_scale(self):
+        dist = ShiftedLognormal(floor=0.002, median_total=0.012, p99_over_median=2.1)
+        with pytest.raises(ConfigurationError):
+            dist.scaled(0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    floor=st.floats(min_value=0.0, max_value=0.01),
+    extra=st.floats(min_value=0.001, max_value=0.1),
+    ratio=st.floats(min_value=1.1, max_value=5.0),
+)
+def test_shifted_lognormal_samples_are_positive(floor, extra, ratio):
+    dist = ShiftedLognormal(
+        floor=floor, median_total=floor + extra, p99_over_median=ratio
+    )
+    samples = dist.sample_many(np.random.default_rng(0), 50)
+    assert np.all(samples >= floor)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mu=st.floats(min_value=-5, max_value=2),
+    sigma=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_lognormal_median_analytic_property(mu, sigma):
+    dist = LognormalDistribution(mu, sigma)
+    assert dist.median() == pytest.approx(np.exp(mu))

@@ -1,0 +1,90 @@
+"""EventQueue ordering, cancellation, and error behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.event_queue import Event, EventQueue
+
+
+def _noop(payload=None):
+    return payload
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventQueue()
+    queue.push(Event(3.0, _noop, "c"))
+    queue.push(Event(1.0, _noop, "a"))
+    queue.push(Event(2.0, _noop, "b"))
+    assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    for label in ("first", "second", "third"):
+        queue.push(Event(5.0, _noop, label))
+    assert [queue.pop().payload for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_len_tracks_live_events():
+    queue = EventQueue()
+    handles = [queue.push(Event(float(i), _noop)) for i in range(4)]
+    assert len(queue) == 4
+    queue.cancel(handles[1])
+    assert len(queue) == 3
+    queue.pop()
+    assert len(queue) == 2
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    queue.push(Event(1.0, _noop, "keep1"))
+    handle = queue.push(Event(2.0, _noop, "cancelled"))
+    queue.push(Event(3.0, _noop, "keep2"))
+    queue.cancel(handle)
+    assert [queue.pop().payload for _ in range(2)] == ["keep1", "keep2"]
+
+
+def test_double_cancel_is_idempotent():
+    queue = EventQueue()
+    handle = queue.push(Event(1.0, _noop))
+    queue.cancel(handle)
+    queue.cancel(handle)
+    assert len(queue) == 0
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.push(Event(-0.1, _noop))
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    handle = queue.push(Event(1.0, _noop))
+    queue.push(Event(2.0, _noop))
+    queue.cancel(handle)
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_event_fire_without_payload_calls_zero_arg():
+    called = []
+    event = Event(0.0, lambda: called.append(True))
+    event.fire()
+    assert called == [True]
+
+
+def test_bool_conversion():
+    queue = EventQueue()
+    assert not queue
+    queue.push(Event(0.0, _noop))
+    assert queue

@@ -1,0 +1,99 @@
+"""Discrete-event Simulator clock and scheduling semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_run_advances_clock_to_last_event():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.run() == 5.0
+    assert sim.events_fired == 2
+
+
+def test_events_fire_in_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("late"))
+    sim.schedule(1.0, lambda: order.append("early"))
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_event_can_schedule_followup():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [1.0, 2.5]
+
+
+def test_run_until_horizon_stops_early():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(2))
+    end = sim.run(until=5.0)
+    assert end == 5.0
+    assert fired == [1]
+    assert sim.pending == 1
+
+
+def test_run_until_advances_even_with_empty_queue():
+    sim = Simulator()
+    assert sim.run(until=7.0) == 7.0
+    assert sim.now == 7.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    sim.cancel(handle)
+    sim.run()
+    assert fired == []
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def storm():
+        sim.schedule(0.001, storm)
+
+    sim.schedule(0.0, storm)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_payload_delivered_to_action():
+    sim = Simulator()
+    got = []
+    sim.schedule(1.0, got.append, payload="data")
+    sim.run()
+    assert got == ["data"]

@@ -1,0 +1,84 @@
+"""Percentile/CDF/summary helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import cdf_points, geometric_mean, percentile, summarize
+
+
+def test_percentile_median_of_range():
+    assert percentile(range(1, 101), 50) == pytest.approx(50.5)
+
+
+def test_percentile_bounds_checked():
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], 101)
+    with pytest.raises(ConfigurationError):
+        percentile([1.0], -1)
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        percentile([], 50)
+
+
+def test_cdf_points_sorted_and_normalized():
+    values, probs = cdf_points([3.0, 1.0, 2.0])
+    assert list(values) == [1.0, 2.0, 3.0]
+    assert probs[-1] == 1.0
+    assert np.all(np.diff(probs) > 0)
+
+
+def test_cdf_points_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        cdf_points([])
+
+
+def test_summary_fields():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.maximum == 4.0
+    assert summary.p50 == pytest.approx(2.5)
+
+
+def test_summary_as_row_keys():
+    row = summarize([1.0]).as_row()
+    assert set(row) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+def test_summary_percentiles_ordered():
+    rng = np.random.default_rng(0)
+    summary = summarize(rng.lognormal(0, 1, 5000))
+    assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+
+def test_geometric_mean_basic():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+
+def test_geometric_mean_rejects_non_positive():
+    with pytest.raises(ConfigurationError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_geometric_mean_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        geometric_mean([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+def test_geometric_mean_between_min_and_max(values):
+    gm = geometric_mean(values)
+    assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1000), min_size=1, max_size=50))
+def test_cdf_last_probability_is_one(values):
+    _, probs = cdf_points(values)
+    assert probs[-1] == pytest.approx(1.0)

@@ -1,0 +1,171 @@
+"""Object store, placement policy, and storage nodes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.drive import DSCSDrive, SSDDrive
+from repro.storage.node import StorageNode
+from repro.storage.object_store import ObjectStore, StorageClass
+from repro.storage.placement import PlacementPolicy
+from repro.units import GB, MB
+
+
+def make_nodes(num_plain=3, num_dscs=1):
+    nodes = [StorageNode(drives=[SSDDrive()]) for _ in range(num_plain)]
+    nodes += [
+        StorageNode(drives=[SSDDrive(), DSCSDrive()]) for _ in range(num_dscs)
+    ]
+    return nodes
+
+
+class TestPlacement:
+    def test_replication_factor_respected(self):
+        nodes = make_nodes()
+        chosen = PlacementPolicy(replication_factor=3).place(
+            nodes, 1 * MB, acceleratable=False
+        )
+        assert len(chosen) == 3
+        assert len(set(id(n) for n in chosen)) == 3
+
+    def test_acceleratable_objects_land_on_dscs_node(self):
+        nodes = make_nodes()
+        chosen = PlacementPolicy().place(nodes, 1 * MB, acceleratable=True)
+        assert chosen[0].supports_acceleration
+
+    def test_spread_hint_rotates(self):
+        nodes = make_nodes(num_plain=4, num_dscs=0)
+        first = PlacementPolicy(replication_factor=1).place(
+            nodes, MB, False, spread_hint=0
+        )
+        second = PlacementPolicy(replication_factor=1).place(
+            nodes, MB, False, spread_hint=1
+        )
+        assert first[0] is not second[0]
+
+    def test_small_cluster_clamps_replicas(self):
+        nodes = make_nodes(num_plain=2, num_dscs=0)
+        chosen = PlacementPolicy(replication_factor=3).place(nodes, MB, False)
+        assert len(chosen) == 2
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(StorageError):
+            PlacementPolicy().place([], MB, False)
+
+
+class TestObjectStore:
+    def test_put_get_delete_round_trip(self):
+        store = ObjectStore(make_nodes())
+        meta = store.put("request-1", 4 * MB)
+        assert "request-1" in store
+        assert store.get_meta("request-1") is meta
+        store.delete("request-1")
+        assert "request-1" not in store
+
+    def test_put_replicates(self):
+        store = ObjectStore(make_nodes())
+        meta = store.put("obj", 4 * MB)
+        assert len(meta.replicas) == 3
+
+    def test_acceleratable_gets_dscs_class_and_replica(self):
+        store = ObjectStore(make_nodes())
+        meta = store.put("img", 4 * MB, acceleratable=True)
+        assert meta.storage_class is StorageClass.DSCS
+        assert meta.accelerated_replica() is not None
+
+    def test_plain_object_default_class(self):
+        store = ObjectStore(make_nodes())
+        assert store.put("obj", MB).storage_class is StorageClass.HOT
+
+    def test_allocation_tracked_on_drives(self):
+        nodes = make_nodes()
+        store = ObjectStore(nodes)
+        store.put("obj", 8 * MB)
+        used = sum(d.used_bytes for n in nodes for d in n.drives)
+        assert used == 3 * 8 * MB
+        store.delete("obj")
+        assert sum(d.used_bytes for n in nodes for d in n.drives) == 0
+
+    def test_overwrite_releases_old_space(self):
+        nodes = make_nodes()
+        store = ObjectStore(nodes)
+        store.put("obj", 8 * MB)
+        store.put("obj", 2 * MB)
+        used = sum(d.used_bytes for n in nodes for d in n.drives)
+        assert used == 3 * 2 * MB
+
+    def test_single_drive_flag_for_small_objects(self):
+        store = ObjectStore(make_nodes(), chunk_bytes=16 * MB)
+        assert store.put("small", 4 * MB).single_drive
+        assert not store.put("large", 100 * MB).single_drive
+
+    def test_p2p_read_requires_dscs_replica(self):
+        store = ObjectStore(make_nodes(num_plain=3, num_dscs=0))
+        store.put("obj", MB, acceleratable=True)
+        with pytest.raises(StorageError):
+            store.p2p_read_seconds("obj")
+
+    def test_p2p_read_rejects_multi_chunk(self):
+        store = ObjectStore(make_nodes(), chunk_bytes=1 * MB)
+        store.put("big", 10 * MB, acceleratable=True)
+        with pytest.raises(StorageError):
+            store.p2p_read_seconds("big")
+
+    def test_p2p_read_returns_drive(self):
+        store = ObjectStore(make_nodes())
+        store.put("img", 4 * MB, acceleratable=True)
+        seconds, drive = store.p2p_read_seconds("img")
+        assert seconds > 0
+        assert isinstance(drive, DSCSDrive)
+
+    def test_remote_read_positive(self):
+        store = ObjectStore(make_nodes())
+        store.put("obj", 4 * MB)
+        assert store.remote_read_seconds("obj", np.random.default_rng(0)) > 0
+
+    def test_missing_key_raises(self):
+        store = ObjectStore(make_nodes())
+        with pytest.raises(StorageError):
+            store.get_meta("nope")
+
+    def test_chunk_bounds_enforced(self):
+        with pytest.raises(StorageError):
+            ObjectStore(make_nodes(), chunk_bytes=128 * 1024)
+
+    def test_zero_size_rejected(self):
+        store = ObjectStore(make_nodes())
+        with pytest.raises(StorageError):
+            store.put("obj", 0)
+
+
+class TestStorageNode:
+    def test_accelerated_drive_discovery(self):
+        node = StorageNode(drives=[SSDDrive(), DSCSDrive()])
+        assert node.supports_acceleration
+        assert node.available_accelerated_drive() is not None
+
+    def test_busy_drive_not_available(self):
+        drive = DSCSDrive()
+        node = StorageNode(drives=[drive])
+        drive.mark_busy()
+        assert node.available_accelerated_drive() is None
+
+    def test_pick_drive_prefers_dsa_when_asked(self):
+        node = StorageNode(drives=[SSDDrive(), DSCSDrive()])
+        assert node.pick_drive(MB, prefer_accelerated=True).supports_acceleration
+        assert not node.pick_drive(MB, prefer_accelerated=False).supports_acceleration
+
+    def test_pick_drive_full_raises(self):
+        node = StorageNode(drives=[SSDDrive(capacity_bytes=MB)])
+        with pytest.raises(StorageError):
+            node.pick_drive(2 * MB, prefer_accelerated=False)
+
+    def test_remote_read_exceeds_device_read(self):
+        node = StorageNode()
+        drive = node.drives[0]
+        remote = node.median_remote_read_seconds(drive, 4 * MB)
+        assert remote > drive.host_read_seconds(4 * MB)
+
+    def test_node_requires_drives(self):
+        with pytest.raises(StorageError):
+            StorageNode(drives=[])

@@ -1,0 +1,48 @@
+"""Unit-constant and conversion-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024
+    assert units.GB == 1024**3
+
+
+def test_decimal_size_constants():
+    assert units.GB_DEC == 10**9
+    assert units.MB_DEC == 10**6
+
+
+def test_time_constants_ordering():
+    assert units.NS < units.US < units.MS < units.SECOND < units.MINUTE < units.HOUR
+
+
+def test_bytes_to_mb_round_trip():
+    assert units.bytes_to_mb(units.mb(3.5)) == pytest.approx(3.5)
+
+
+def test_kb_mb_gb_helpers():
+    assert units.kb(2) == 2048
+    assert units.mb(1) == units.MB
+    assert units.gb(1) == units.GB
+
+
+def test_transfer_time_basic():
+    assert units.transfer_time(1000, 1000.0) == pytest.approx(1.0)
+
+
+def test_transfer_time_zero_bytes():
+    assert units.transfer_time(0, 5.0) == 0.0
+
+
+def test_transfer_time_rejects_negative_bytes():
+    with pytest.raises(ValueError):
+        units.transfer_time(-1, 100.0)
+
+
+def test_transfer_time_rejects_zero_bandwidth():
+    with pytest.raises(ValueError):
+        units.transfer_time(10, 0.0)

@@ -1,0 +1,89 @@
+"""Warm-container pool behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serverless.coldstart import ColdStartModel
+from repro.serverless.warmpool import WarmPool
+
+
+def pool(window=600.0, capacity=4, flash=True):
+    return WarmPool(
+        coldstart=ColdStartModel(warm_window_seconds=window),
+        capacity=capacity,
+        flash_parking=flash,
+    )
+
+
+def test_first_invocation_is_cold():
+    cold, reload = pool().invoke("f", now=0.0)
+    assert cold and not reload
+
+
+def test_repeat_within_window_is_warm():
+    p = pool(window=100.0)
+    p.invoke("f", now=0.0)
+    cold, _ = p.invoke("f", now=50.0)
+    assert not cold
+
+
+def test_repeat_after_window_is_cold():
+    p = pool(window=100.0)
+    p.invoke("f", now=0.0)
+    cold, reload = p.invoke("f", now=200.0)
+    assert cold
+    assert reload  # parked on flash at expiry, reloaded via P2P
+
+
+def test_flash_parking_disabled_means_full_cold():
+    p = pool(window=100.0, flash=False)
+    p.invoke("f", now=0.0)
+    cold, reload = p.invoke("f", now=200.0)
+    assert cold and not reload
+
+
+def test_lru_eviction_at_capacity():
+    p = pool(capacity=2)
+    p.invoke("a", now=0.0)
+    p.invoke("b", now=1.0)
+    p.invoke("c", now=2.0)  # evicts 'a'
+    assert "a" not in p.resident_functions
+    cold, reload = p.invoke("a", now=3.0)
+    assert cold and reload
+
+
+def test_replay_counts_cold_fraction():
+    p = pool(window=100.0)
+    timeline = [(0.0, "f"), (10.0, "f"), (20.0, "f"), (500.0, "f")]
+    stats = p.replay(timeline)
+    assert stats.total_invocations == 4
+    assert stats.cold_invocations == 2  # first + post-expiry
+    assert stats.flash_reloads == 1
+    assert stats.cold_fraction == pytest.approx(0.5)
+
+
+def test_replay_requires_ordered_timeline():
+    with pytest.raises(ConfigurationError):
+        pool().replay([(1.0, "f"), (0.5, "f")])
+
+
+def test_hot_function_stays_warm_indefinitely():
+    p = pool(window=100.0)
+    timeline = [(float(t), "hot") for t in range(0, 1000, 50)]
+    stats = p.replay(timeline)
+    assert stats.cold_invocations == 1  # only the very first
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        WarmPool(capacity=0)
+
+
+def test_interleaved_functions_share_pool():
+    p = pool(capacity=8, window=1000.0)
+    timeline = []
+    for t in range(10):
+        timeline.append((float(2 * t), "a"))
+        timeline.append((float(2 * t + 1), "b"))
+    stats = p.replay(timeline)
+    assert stats.cold_invocations == 2  # one per function
