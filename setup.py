@@ -15,6 +15,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    # 3.10+: dataclasses.field(kw_only=True) (accelerator.simulator).
+    python_requires=">=3.10",
     install_requires=["numpy"],
 )

@@ -38,6 +38,7 @@ from repro.accelerator.isa import (
     Sync,
     VectorOp,
 )
+from repro.accelerator.packed import PackedProgram, pack_program
 from repro.accelerator.power import PowerModel
 from repro.accelerator.scaling import TechNode, scale_area, scale_power
 from repro.accelerator.simulator import CycleSimulator, ExecutionReport
@@ -55,6 +56,7 @@ __all__ = [
     "Instruction",
     "LoadTile",
     "MemorySpec",
+    "PackedProgram",
     "PowerModel",
     "Program",
     "SMARTSSD_POWER_BUDGET_WATTS",
@@ -64,6 +66,7 @@ __all__ = [
     "VectorOp",
     "disassemble",
     "hottest_ops",
+    "pack_program",
     "per_op_stats",
     "scale_area",
     "scale_power",

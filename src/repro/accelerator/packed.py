@@ -1,0 +1,343 @@
+"""Columnar (packed) program representation and vectorized timing kernels.
+
+The scalar :meth:`~repro.accelerator.simulator.CycleSimulator.run` walks one
+Python instruction object at a time; for design-space sweeps that interpreter
+loop dominates wall-clock.  This module lowers a
+:class:`~repro.accelerator.isa.Program` into numpy columns once — opcode,
+DMA bytes, tile dims, element counts, fused flags — and evaluates the
+DMA/compute interleave for any design point with vectorized kernels.
+
+The interleave recurrence tracked by the scalar simulator is a pair of
+clocks ``(dma_done, compute_done)`` updated per instruction with ``+`` and
+``max``.  Every instruction is therefore a linear operator in the
+(max, +) semiring acting on that clock pair:
+
+====================  =======================================
+LoadTile              ``D' = D + d``
+StoreTile             ``D' = max(D, C) + d``
+GemmTile / VectorOp   ``C' = max(C, D) + c`` (unfused)
+VectorOp (fused)      ``C' = C + c``
+Sync                  ``D' = C' = max(D, C)``
+====================  =======================================
+
+Max-plus matrix products are associative, so the final clock pair is the
+ordered product of per-instruction 2x2 matrices — computed here with a
+vectorized pairwise tree reduction (O(n) work, O(log n) numpy passes, no
+per-instruction Python).  Costs are integers well below 2**53, so float64
+max/add arithmetic is exact and the result is bit-identical to the scalar
+interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.isa import (
+    GemmTile,
+    Halt,
+    LoadTile,
+    Program,
+    StoreTile,
+    Sync,
+    VectorOp,
+)
+from repro.accelerator.vpu import PASS_OVERHEAD_CYCLES
+from repro.errors import SimulationError
+
+# Opcodes of the packed stream.  Halt is not represented: packing truncates
+# at the first Halt, exactly where the scalar interpreter stops.
+OP_LOAD = 0
+OP_STORE = 1
+OP_GEMM = 2
+OP_VOP = 3
+OP_SYNC = 4
+
+_NEG = -np.inf
+
+
+@dataclass(frozen=True)
+class PackedProgram:
+    """A :class:`Program` lowered to design-point-independent numpy columns.
+
+    Columns hold one row per instruction (Halt excluded).  Everything that
+    depends on the design point — DMA cycles, systolic pass cycles, SIMD
+    pass cycles — is derived per config by :func:`instruction_cycles`, so a
+    single packing is reusable across every config that shares the tiling
+    (the cross-sweep program cache exploits exactly that).
+    """
+
+    model_name: str
+    opcodes: np.ndarray  # uint8, one of OP_*
+    op_ids: np.ndarray  # int32 index into op_names (-1 for Sync)
+    num_bytes: np.ndarray  # int64 DMA payload (loads/stores)
+    gemm_m: np.ndarray  # int64 logical tile dims (gemms)
+    gemm_n: np.ndarray
+    gemm_k: np.ndarray
+    macs: np.ndarray  # int64 m*n*k (gemms)
+    element_ops: np.ndarray  # int64 elements*cost (vector ops)
+    fused: np.ndarray  # bool (vector ops)
+    sram_bytes: np.ndarray  # int64 scratchpad traffic per instruction
+    op_names: Tuple[str, ...]  # first-charge order, mirrors scalar dict order
+
+    def __len__(self) -> int:
+        return int(self.opcodes.shape[0])
+
+    @property
+    def num_sync_segments(self) -> int:
+        """Number of barrier-delimited segments in the stream."""
+        return int(np.count_nonzero(self.opcodes == OP_SYNC)) + 1
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total DMA traffic (loads + stores)."""
+        return int(self.num_bytes.sum())
+
+    @property
+    def total_macs(self) -> int:
+        return int(self.macs.sum())
+
+    @property
+    def total_element_ops(self) -> int:
+        return int(self.element_ops.sum())
+
+    @property
+    def total_sram_bytes(self) -> int:
+        return int(self.sram_bytes.sum())
+
+
+def pack_program(program: Program) -> PackedProgram:
+    """Lower ``program`` into columnar form (validating it first)."""
+    program.validate()
+
+    opcodes: List[int] = []
+    op_ids: List[int] = []
+    num_bytes: List[int] = []
+    gemm_m: List[int] = []
+    gemm_n: List[int] = []
+    gemm_k: List[int] = []
+    macs: List[int] = []
+    element_ops: List[int] = []
+    fused: List[bool] = []
+    sram: List[int] = []
+    name_index: Dict[str, int] = {}
+
+    def op_id(name: str) -> int:
+        index = name_index.get(name)
+        if index is None:
+            index = len(name_index)
+            name_index[name] = index
+        return index
+
+    for instruction in program:
+        if isinstance(instruction, LoadTile):
+            opcodes.append(OP_LOAD)
+            op_ids.append(op_id(instruction.op_name))
+            num_bytes.append(instruction.num_bytes)
+            gemm_m.append(0)
+            gemm_n.append(0)
+            gemm_k.append(0)
+            macs.append(0)
+            element_ops.append(0)
+            fused.append(False)
+            sram.append(instruction.num_bytes)
+        elif isinstance(instruction, StoreTile):
+            opcodes.append(OP_STORE)
+            op_ids.append(op_id(instruction.op_name))
+            num_bytes.append(instruction.num_bytes)
+            gemm_m.append(0)
+            gemm_n.append(0)
+            gemm_k.append(0)
+            macs.append(0)
+            element_ops.append(0)
+            fused.append(False)
+            sram.append(instruction.num_bytes)
+        elif isinstance(instruction, GemmTile):
+            opcodes.append(OP_GEMM)
+            op_ids.append(op_id(instruction.op_name))
+            num_bytes.append(0)
+            gemm_m.append(instruction.m)
+            gemm_n.append(instruction.n)
+            gemm_k.append(instruction.k)
+            macs.append(instruction.macs)
+            element_ops.append(0)
+            fused.append(False)
+            sram.append(
+                instruction.m * instruction.k
+                + instruction.k * instruction.n
+                + instruction.m * instruction.n * 4
+            )
+        elif isinstance(instruction, VectorOp):
+            opcodes.append(OP_VOP)
+            op_ids.append(op_id(instruction.op_name))
+            num_bytes.append(0)
+            gemm_m.append(0)
+            gemm_n.append(0)
+            gemm_k.append(0)
+            macs.append(0)
+            element_ops.append(instruction.elements * instruction.cost_per_element)
+            fused.append(instruction.fused)
+            sram.append(instruction.elements * 2)
+        elif isinstance(instruction, Sync):
+            opcodes.append(OP_SYNC)
+            op_ids.append(-1)
+            num_bytes.append(0)
+            gemm_m.append(0)
+            gemm_n.append(0)
+            gemm_k.append(0)
+            macs.append(0)
+            element_ops.append(0)
+            fused.append(False)
+            sram.append(0)
+        elif isinstance(instruction, Halt):
+            break
+        else:  # pragma: no cover - defensive, mirrors the scalar path
+            raise SimulationError(f"unknown instruction {instruction!r}")
+
+    return PackedProgram(
+        model_name=program.model_name,
+        opcodes=np.asarray(opcodes, dtype=np.uint8),
+        op_ids=np.asarray(op_ids, dtype=np.int32),
+        num_bytes=np.asarray(num_bytes, dtype=np.int64),
+        gemm_m=np.asarray(gemm_m, dtype=np.int64),
+        gemm_n=np.asarray(gemm_n, dtype=np.int64),
+        gemm_k=np.asarray(gemm_k, dtype=np.int64),
+        macs=np.asarray(macs, dtype=np.int64),
+        element_ops=np.asarray(element_ops, dtype=np.int64),
+        fused=np.asarray(fused, dtype=bool),
+        sram_bytes=np.asarray(sram, dtype=np.int64),
+        op_names=tuple(name_index),
+    )
+
+
+def instruction_cycles(
+    packed: PackedProgram, config: DSAConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-instruction ``(dma_cycles, compute_cycles)`` for ``config``.
+
+    Replicates the scalar models exactly: ``ceil(bytes / bytes_per_cycle)``
+    for DMA (same float64 division/ceil as ``math.ceil`` on floats),
+    ``k + m + pe_rows + pe_cols`` for a systolic pass, and
+    ``overhead + ceil(element_ops / lanes)`` for a SIMD pass.
+    """
+    bytes_per_cycle = config.memory.bytes_per_cycle(config.frequency_hz)
+    if bytes_per_cycle <= 0:
+        raise SimulationError("memory bandwidth yields zero bytes/cycle")
+
+    is_dma = (packed.opcodes == OP_LOAD) | (packed.opcodes == OP_STORE)
+    is_gemm = packed.opcodes == OP_GEMM
+    is_vop = packed.opcodes == OP_VOP
+
+    bad = is_gemm & (
+        (packed.gemm_k > config.pe_rows) | (packed.gemm_n > config.pe_cols)
+    )
+    if bad.any():
+        first = int(np.argmax(bad))
+        raise SimulationError(
+            f"tile k={int(packed.gemm_k[first])} n={int(packed.gemm_n[first])} "
+            f"exceeds array {config.pe_rows}x{config.pe_cols}"
+        )
+
+    dma = np.zeros(len(packed), dtype=np.int64)
+    dma[is_dma] = np.ceil(
+        packed.num_bytes[is_dma].astype(np.float64) / bytes_per_cycle
+    ).astype(np.int64)
+
+    compute = np.zeros(len(packed), dtype=np.int64)
+    drain = config.pe_rows + config.pe_cols
+    compute[is_gemm] = packed.gemm_k[is_gemm] + packed.gemm_m[is_gemm] + drain
+    compute[is_vop] = PASS_OVERHEAD_CYCLES + np.ceil(
+        packed.element_ops[is_vop].astype(np.float64) / config.lanes
+    ).astype(np.int64)
+    return dma, compute
+
+
+def _maxplus_product(
+    a: Tuple[np.ndarray, ...], b: Tuple[np.ndarray, ...]
+) -> Tuple[np.ndarray, ...]:
+    """Elementwise max-plus product ``a @ b`` of stacked 2x2 matrices."""
+    a00, a01, a10, a11 = a
+    b00, b01, b10, b11 = b
+    return (
+        np.maximum(a00 + b00, a01 + b10),
+        np.maximum(a00 + b01, a01 + b11),
+        np.maximum(a10 + b00, a11 + b10),
+        np.maximum(a10 + b01, a11 + b11),
+    )
+
+
+def interleave_cycles(
+    packed: PackedProgram, dma_cycles: np.ndarray, compute_cycles: np.ndarray
+) -> Tuple[int, int]:
+    """Final ``(dma_done, compute_done)`` clocks of the interleaved stream.
+
+    Builds one max-plus matrix per instruction and reduces them with a
+    pairwise tree (padding odd levels with the max-plus identity), which
+    keeps the arithmetic identical to folding the scalar recurrence.
+    """
+    n = len(packed)
+    if n == 0:
+        return 0, 0
+
+    d = dma_cycles.astype(np.float64)
+    c = compute_cycles.astype(np.float64)
+    is_load = packed.opcodes == OP_LOAD
+    is_store = packed.opcodes == OP_STORE
+    is_sync = packed.opcodes == OP_SYNC
+    is_compute = (packed.opcodes == OP_GEMM) | (packed.opcodes == OP_VOP)
+    is_coupled = is_compute & ~packed.fused
+
+    # Matrix entries: new_state[i] = max_j(m[i][j] + old_state[j]) with
+    # state = (D, C).  Fused vector ops never read the DMA clock, so their
+    # m10 stays -inf; loads/stores leave the compute clock untouched.
+    m00 = np.where(is_load | is_store, d, 0.0)
+    m01 = np.where(is_store, d, np.where(is_sync, 0.0, _NEG))
+    m10 = np.where(is_coupled, c, np.where(is_sync, 0.0, _NEG))
+    m11 = np.where(is_compute, c, 0.0)
+
+    mats = (m00, m01, m10, m11)
+    while mats[0].shape[0] > 1:
+        count = mats[0].shape[0]
+        if count % 2:
+            identity = (
+                np.array([0.0]),
+                np.array([_NEG]),
+                np.array([_NEG]),
+                np.array([0.0]),
+            )
+            mats = tuple(
+                np.concatenate([m, i]) for m, i in zip(mats, identity)
+            )
+        later = tuple(m[1::2] for m in mats)
+        earlier = tuple(m[0::2] for m in mats)
+        mats = _maxplus_product(later, earlier)
+
+    m00, m01, m10, m11 = (float(m[0]) for m in mats)
+    # Initial state is (0, 0), so the final clocks are the row maxima.
+    dma_done = max(m00, m01)
+    compute_done = max(m10, m11)
+    return int(dma_done), int(compute_done)
+
+
+def per_op_cycles(
+    packed: PackedProgram, compute_cycles: np.ndarray
+) -> Dict[str, int]:
+    """Per-op charged cycles, in first-charge order like the scalar dict.
+
+    Loads and stores charge zero cycles (they still surface their op in the
+    breakdown); gemm and vector instructions charge their compute cost.
+    """
+    if not packed.op_names:
+        return {}
+    charged = packed.op_ids >= 0
+    is_compute = (packed.opcodes == OP_GEMM) | (packed.opcodes == OP_VOP)
+    weights = np.where(is_compute, compute_cycles, 0)[charged]
+    totals = np.bincount(
+        packed.op_ids[charged],
+        weights=weights.astype(np.float64),
+        minlength=len(packed.op_names),
+    )
+    return {name: int(totals[i]) for i, name in enumerate(packed.op_names)}

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Union
 
 from repro.accelerator.config import DSAConfig
 from repro.accelerator.isa import (
@@ -30,6 +30,13 @@ from repro.accelerator.isa import (
     StoreTile,
     Sync,
     VectorOp,
+)
+from repro.accelerator.packed import (
+    PackedProgram,
+    instruction_cycles,
+    interleave_cycles,
+    pack_program,
+    per_op_cycles,
 )
 from repro.accelerator.mpu import MatrixProcessingUnit
 from repro.accelerator.power import EnergyBreakdown, PowerModel
@@ -57,6 +64,10 @@ class ExecutionReport:
     def energy_j(self) -> float:
         return self.energy.total_j
 
+    # The design point's peak MAC throughput, required so utilisation can
+    # never silently default to a wrong denominator.
+    _peak_macs_per_cycle: int = field(kw_only=True)
+
     @property
     def mpu_utilization(self) -> float:
         """Achieved MACs over peak MACs for the whole execution."""
@@ -64,13 +75,18 @@ class ExecutionReport:
             return 0.0
         return self.total_macs / (self.cycles * self._peak_macs_per_cycle)
 
-    # Stored at construction via __post_init__ trick is not possible on a
-    # frozen dataclass without field; keep it simple with a backing field.
-    _peak_macs_per_cycle: int = 1
-
 
 class CycleSimulator:
-    """Executes :class:`Program` streams against a :class:`DSAConfig`."""
+    """Executes :class:`Program` streams against a :class:`DSAConfig`.
+
+    Two engines produce bit-identical :class:`ExecutionReport`\\ s:
+
+    - :meth:`run` — the scalar reference interpreter (one Python
+      instruction at a time), kept as the correctness oracle;
+    - :meth:`run_packed` — the vectorized engine over a
+      :class:`~repro.accelerator.packed.PackedProgram`, used by the DSE
+      sweeps and the serverless platforms for speed.
+    """
 
     def __init__(self, config: DSAConfig) -> None:
         self._config = config
@@ -160,7 +176,62 @@ class CycleSimulator:
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown instruction {instruction!r}")
 
-        total_cycles = max(dma_done, compute_done)
+        return self._build_report(
+            model_name=program.model_name,
+            total_cycles=max(dma_done, compute_done),
+            compute_busy=compute_busy,
+            dma_busy=dma_busy,
+            total_macs=total_macs,
+            total_vector_ops=total_vector_ops,
+            dram_bytes=dram_bytes,
+            sram_bytes=sram_bytes,
+            per_op=per_op,
+        )
+
+    def run_packed(
+        self, program: Union[Program, PackedProgram]
+    ) -> ExecutionReport:
+        """Vectorized execution: bit-identical to :meth:`run`, no per-
+        instruction Python loop.
+
+        Accepts either a :class:`Program` (packed on the fly) or an
+        already-packed :class:`PackedProgram` — the latter is what the
+        cross-sweep program cache hands out, so configs that share tiling
+        skip both compilation and packing.
+        """
+        packed = (
+            program
+            if isinstance(program, PackedProgram)
+            else pack_program(program)
+        )
+        dma_cycles, compute_cycles = instruction_cycles(packed, self._config)
+        dma_done, compute_done = interleave_cycles(
+            packed, dma_cycles, compute_cycles
+        )
+        return self._build_report(
+            model_name=packed.model_name,
+            total_cycles=max(dma_done, compute_done),
+            compute_busy=int(compute_cycles.sum()),
+            dma_busy=int(dma_cycles.sum()),
+            total_macs=packed.total_macs,
+            total_vector_ops=packed.total_element_ops,
+            dram_bytes=packed.dram_bytes,
+            sram_bytes=packed.total_sram_bytes,
+            per_op=per_op_cycles(packed, compute_cycles),
+        )
+
+    def _build_report(
+        self,
+        model_name: str,
+        total_cycles: int,
+        compute_busy: int,
+        dma_busy: int,
+        total_macs: int,
+        total_vector_ops: int,
+        dram_bytes: int,
+        sram_bytes: int,
+        per_op: Dict[str, int],
+    ) -> ExecutionReport:
         latency_s = self._config.cycles_to_seconds(total_cycles)
         energy = self._power.execution_energy(
             macs=total_macs,
@@ -170,7 +241,7 @@ class CycleSimulator:
             latency_s=latency_s,
         )
         return ExecutionReport(
-            model_name=program.model_name,
+            model_name=model_name,
             config_label=self._config.label,
             cycles=total_cycles,
             latency_s=latency_s,

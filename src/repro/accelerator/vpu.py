@@ -18,7 +18,7 @@ from repro.accelerator.config import DSAConfig
 from repro.accelerator.isa import VectorOp
 
 # Per-pass pipeline setup (instruction decode, address generation).
-_PASS_OVERHEAD_CYCLES = 8
+PASS_OVERHEAD_CYCLES = 8
 
 
 class VectorProcessingUnit:
@@ -34,9 +34,9 @@ class VectorProcessingUnit:
     def op_cycles(self, op: VectorOp) -> int:
         """Total cycles to execute a vector instruction."""
         if op.elements == 0:
-            return _PASS_OVERHEAD_CYCLES
+            return PASS_OVERHEAD_CYCLES
         element_ops = op.elements * op.cost_per_element
-        return _PASS_OVERHEAD_CYCLES + math.ceil(element_ops / self._config.lanes)
+        return PASS_OVERHEAD_CYCLES + math.ceil(element_ops / self._config.lanes)
 
     def throughput_elements_per_cycle(self) -> int:
         """Peak single-cost element throughput."""

@@ -101,18 +101,29 @@ class RackSimulation:
         self._service_cursor: Dict[str, int] = {}
 
     def _service_time(self, app_name: str) -> float:
-        """Next pre-sampled service time for ``app_name``."""
-        if app_name not in self._service_samples:
+        """Next pre-sampled service time for ``app_name``.
+
+        The pool grows geometrically (doubling) when exhausted instead of
+        wrapping modulo its length — wrapping would replay the same sample
+        sequence and correlate service times across a long trace.
+        """
+        samples = self._service_samples.get(app_name)
+        if samples is None:
             app = self._applications.get(app_name)
             if app is None:
                 raise SchedulingError(f"unknown application {app_name!r}")
-            self._service_samples[app_name] = self._model.sample_latencies(
+            samples = self._model.sample_latencies(
                 app, self._rng, _PRESAMPLE_COUNT
             )
+            self._service_samples[app_name] = samples
             self._service_cursor[app_name] = 0
-        samples = self._service_samples[app_name]
         cursor = self._service_cursor[app_name]
-        self._service_cursor[app_name] = (cursor + 1) % len(samples)
+        if cursor >= len(samples):
+            app = self._applications[app_name]
+            fresh = self._model.sample_latencies(app, self._rng, len(samples))
+            samples = np.concatenate([samples, fresh])
+            self._service_samples[app_name] = samples
+        self._service_cursor[app_name] = cursor + 1
         return float(samples[cursor])
 
     def run(
@@ -169,20 +180,24 @@ class RackSimulation:
             queue_series.append(len(queue))
             busy_series.append(busy)
 
+        arrivals = []
         for sequence, (arrival, app_name) in enumerate(
             zip(trace.arrival_seconds, trace.app_names)
         ):
             request = QueuedRequest(
                 arrival=float(arrival), app_name=app_name, sequence=sequence
             )
-            events.push(
+            arrivals.append(
                 Event(float(arrival), on_arrival, (request, float(arrival)))
             )
+        events.push_many(arrivals)
         horizon = trace.duration_seconds
+        ticks = []
         tick = sample_interval_seconds
         while tick <= horizon:
-            events.push(Event(tick, on_sample, tick))
+            ticks.append(Event(tick, on_sample, tick))
             tick += sample_interval_seconds
+        events.push_many(ticks)
 
         while events:
             events.pop().fire()

@@ -14,15 +14,28 @@ Typical use::
     report = executable.simulate()
 """
 
-from repro.compiler.executable import DSAExecutable, compile_graph
+from repro.compiler.executable import (
+    DSAExecutable,
+    ProgramCache,
+    compile_graph,
+    compile_graph_uncached,
+    shared_program_cache,
+    tiling_key,
+)
 from repro.compiler.frontend import FusionGroup, fuse
+from repro.compiler.packed_codegen import lower_packed
 from repro.compiler.tiling import TilePlan, plan_gemm
 
 __all__ = [
     "DSAExecutable",
     "FusionGroup",
+    "ProgramCache",
     "TilePlan",
     "compile_graph",
+    "compile_graph_uncached",
     "fuse",
+    "lower_packed",
     "plan_gemm",
+    "shared_program_cache",
+    "tiling_key",
 ]

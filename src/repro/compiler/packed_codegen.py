@@ -1,0 +1,269 @@
+"""Direct graph -> packed-column lowering (the sweep-speed compiler path).
+
+:func:`repro.compiler.codegen.generate` materialises one Python object per
+instruction; at small array dims a single model compiles to millions of
+tile instructions and object construction dominates sweep wall-clock.
+This module produces the *same* instruction stream — column for column —
+as ``pack_program(generate(graph, config))``, but builds the columns with
+numpy broadcasting over the tile grid instead of a Python emission loop.
+
+The equivalence is enforced by tests (`tests/test_packed_equivalence.py`):
+for every zoo model and design point the two lowerings yield identical
+columns, and the scalar interpreter remains the behavioural oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.config import DSAConfig
+from repro.accelerator.packed import (
+    OP_GEMM,
+    OP_LOAD,
+    OP_STORE,
+    OP_SYNC,
+    OP_VOP,
+    PackedProgram,
+)
+from repro.compiler.codegen import _gemm_dims, _vector_cost
+from repro.compiler.frontend import FusionGroup, fuse
+from repro.compiler.tiling import plan_gemm
+from repro.models.graph import Graph
+from repro.models.ops import Embedding
+
+_COLUMNS = (
+    "opcodes",
+    "op_ids",
+    "num_bytes",
+    "gemm_m",
+    "gemm_n",
+    "gemm_k",
+    "macs",
+    "element_ops",
+    "fused",
+    "sram_bytes",
+)
+
+
+class _ColumnBuilder:
+    """Accumulates per-chunk column arrays and the op-name table."""
+
+    def __init__(self, model_name: str) -> None:
+        self.model_name = model_name
+        self._chunks: Dict[str, List[np.ndarray]] = {c: [] for c in _COLUMNS}
+        self._name_index: Dict[str, int] = {}
+
+    def op_id(self, name: str) -> int:
+        index = self._name_index.get(name)
+        if index is None:
+            index = len(self._name_index)
+            self._name_index[name] = index
+        return index
+
+    def append(self, **columns: np.ndarray) -> None:
+        for name in _COLUMNS:
+            self._chunks[name].append(columns[name])
+
+    def append_row(
+        self,
+        opcode: int,
+        op_id: int,
+        num_bytes: int = 0,
+        element_ops: int = 0,
+        fused: bool = False,
+        sram_bytes: int = 0,
+    ) -> None:
+        """One scalar (non-gemm) instruction row."""
+        zero = np.zeros(1, dtype=np.int64)
+        self.append(
+            opcodes=np.array([opcode], dtype=np.uint8),
+            op_ids=np.array([op_id], dtype=np.int32),
+            num_bytes=np.array([num_bytes], dtype=np.int64),
+            gemm_m=zero,
+            gemm_n=zero,
+            gemm_k=zero,
+            macs=zero,
+            element_ops=np.array([element_ops], dtype=np.int64),
+            fused=np.array([fused], dtype=bool),
+            sram_bytes=np.array([sram_bytes], dtype=np.int64),
+        )
+
+    def finish(self) -> PackedProgram:
+        def col(name: str, dtype) -> np.ndarray:
+            chunks = self._chunks[name]
+            if not chunks:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(
+                [np.asarray(c, dtype=dtype).ravel() for c in chunks]
+            )
+
+        return PackedProgram(
+            model_name=self.model_name,
+            opcodes=col("opcodes", np.uint8),
+            op_ids=col("op_ids", np.int32),
+            num_bytes=col("num_bytes", np.int64),
+            gemm_m=col("gemm_m", np.int64),
+            gemm_n=col("gemm_n", np.int64),
+            gemm_k=col("gemm_k", np.int64),
+            macs=col("macs", np.int64),
+            element_ops=col("element_ops", np.int64),
+            fused=col("fused", bool),
+            sram_bytes=col("sram_bytes", np.int64),
+            op_names=tuple(self._name_index),
+        )
+
+
+def _tile_edges(total: int, tile: int, count: int) -> np.ndarray:
+    """Per-index tile extents: ``tile`` everywhere, clipped on the last."""
+    extents = np.full(count, tile, dtype=np.int64)
+    extents[-1] = total - (count - 1) * tile
+    return extents
+
+
+def _lower_matrix_group(
+    group: FusionGroup, config: DSAConfig, builder: _ColumnBuilder
+) -> None:
+    """Columnar mirror of ``codegen._emit_matrix_group``.
+
+    Emission order per (n, k) weight tile: optional Sync (serial plans),
+    weight load, then per m tile an optional activation load plus the
+    systolic pass.  Activation loads happen on the first n stripe only
+    when the whole activation is scratchpad-resident.
+    """
+    op = group.matrix_op
+    assert op is not None
+    m, n, k = _gemm_dims(op)
+    dtype_bytes = op.input.dtype.num_bytes
+    plan = plan_gemm(m, n, k, dtype_bytes, config)
+    nt, kt, mt = plan.n_tiles, plan.k_tiles, plan.m_tiles
+    tn = _tile_edges(n, plan.tile_n, nt)
+    tk = _tile_edges(k, plan.tile_k, kt)
+    tm = _tile_edges(m, plan.tile_m, mt)
+    oid = builder.op_id(op.name)
+    sync_rows = 0 if plan.double_buffered else 1
+
+    def emit_blocks(n_indices: np.ndarray, with_acts: bool) -> None:
+        if n_indices.size == 0:
+            return
+        # Template over one weight-tile block, length L.
+        length = sync_rows + 1 + (2 if with_acts else 1) * mt
+        opcode_t = np.empty(length, dtype=np.uint8)
+        midx_t = np.zeros(length, dtype=np.int64)
+        opcode_t[:sync_rows] = OP_SYNC
+        opcode_t[sync_rows] = OP_LOAD
+        body = sync_rows + 1
+        if with_acts:
+            opcode_t[body::2] = OP_LOAD
+            opcode_t[body + 1 :: 2] = OP_GEMM
+            midx_t[body::2] = np.arange(mt)
+            midx_t[body + 1 :: 2] = np.arange(mt)
+        else:
+            opcode_t[body:] = OP_GEMM
+            midx_t[body:] = np.arange(mt)
+        is_wload_t = np.zeros(length, dtype=bool)
+        is_wload_t[sync_rows] = True
+        is_aload_t = (opcode_t == OP_LOAD) & ~is_wload_t
+        is_gemm_t = opcode_t == OP_GEMM
+        op_ids_t = np.where(opcode_t == OP_SYNC, -1, oid).astype(np.int32)
+        tm_t = tm[midx_t]  # per-position m extent (0-index rows unused)
+
+        # Blocks in (n-major, k-minor) order.
+        blocks_n = np.repeat(n_indices, kt)
+        blocks_k = np.tile(np.arange(kt), n_indices.size)
+        tn_b = tn[blocks_n][:, None]
+        tk_b = tk[blocks_k][:, None]
+        count = blocks_n.size
+
+        gm_t = np.where(is_gemm_t, tm_t, 0)
+        shape = (count, length)
+        gemm_m = np.broadcast_to(gm_t, shape)
+        gemm_n = is_gemm_t[None, :] * tn_b
+        gemm_k = is_gemm_t[None, :] * tk_b
+        macs = gm_t[None, :] * gemm_n * gemm_k
+        num_bytes = (
+            is_wload_t[None, :] * (tk_b * tn_b * dtype_bytes)
+            + is_aload_t[None, :] * (tm_t[None, :] * tk_b * dtype_bytes)
+        )
+        sram = num_bytes + gemm_m * gemm_k + gemm_k * gemm_n + 4 * gemm_m * gemm_n
+        builder.append(
+            opcodes=np.broadcast_to(opcode_t, shape),
+            op_ids=np.broadcast_to(op_ids_t, shape),
+            num_bytes=num_bytes,
+            gemm_m=gemm_m,
+            gemm_n=gemm_n,
+            gemm_k=gemm_k,
+            macs=macs,
+            element_ops=np.zeros(shape, dtype=np.int64),
+            fused=np.zeros(shape, dtype=bool),
+            sram_bytes=sram,
+        )
+
+    if plan.activations_resident:
+        emit_blocks(np.array([0]), with_acts=True)
+        emit_blocks(np.arange(1, nt), with_acts=False)
+    else:
+        emit_blocks(np.arange(nt), with_acts=True)
+
+    for vec_op in group.vector_ops:
+        elements = vec_op.vector_elements()
+        builder.append_row(
+            OP_VOP,
+            builder.op_id(vec_op.name),
+            element_ops=elements * _vector_cost(vec_op),
+            fused=True,
+            sram_bytes=elements * 2,
+        )
+
+    store_bytes = group.output.size_bytes
+    builder.append_row(
+        OP_STORE, builder.op_id(group.name), num_bytes=store_bytes,
+        sram_bytes=store_bytes,
+    )
+
+
+def _lower_vector_group(group: FusionGroup, builder: _ColumnBuilder) -> None:
+    """Columnar mirror of ``codegen._emit_vector_group``."""
+    first = group.vector_ops[0]
+    load_bytes = first.input.size_bytes
+    builder.append_row(
+        OP_LOAD, builder.op_id(first.name), num_bytes=load_bytes,
+        sram_bytes=load_bytes,
+    )
+    for index, vec_op in enumerate(group.vector_ops):
+        if isinstance(vec_op, Embedding):
+            gathered = vec_op.infer_output().size_bytes
+            builder.append_row(
+                OP_LOAD, builder.op_id(vec_op.name), num_bytes=gathered,
+                sram_bytes=gathered,
+            )
+        elements = vec_op.vector_elements()
+        builder.append_row(
+            OP_VOP,
+            builder.op_id(vec_op.name),
+            element_ops=elements * _vector_cost(vec_op),
+            fused=index > 0,
+            sram_bytes=elements * 2,
+        )
+    store_bytes = group.output.size_bytes
+    builder.append_row(
+        OP_STORE, builder.op_id(group.name), num_bytes=store_bytes,
+        sram_bytes=store_bytes,
+    )
+
+
+def lower_packed(graph: Graph, config: DSAConfig) -> PackedProgram:
+    """Lower ``graph`` straight to a :class:`PackedProgram` for ``config``.
+
+    Column-for-column identical to ``pack_program(generate(graph,
+    config))`` — without constructing per-instruction Python objects, so
+    compile cost stays flat as tile counts explode at small array dims.
+    """
+    builder = _ColumnBuilder(graph.name)
+    for group in fuse(graph):
+        if group.is_vector_only:
+            _lower_vector_group(group, builder)
+        else:
+            _lower_matrix_group(group, config, builder)
+    return builder.finish()

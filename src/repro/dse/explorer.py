@@ -5,12 +5,24 @@ cycle-simulating them; throughput is the average frames/sec across the
 set, dynamic power is the simulated energy over runtime, and area comes
 from the analytical model.  Feasibility enforces the storage drive's power
 budget after scaling to the deployment technology node.
+
+Sweep-scale performance comes from three layers:
+
+- the vectorized packed execution engine (bit-identical to the scalar
+  interpreter, which remains the oracle);
+- a cross-sweep :class:`~repro.compiler.executable.ProgramCache` keyed by
+  ``(graph fingerprint, tiling-relevant config fields)`` — the three
+  memory technologies at each array/buffer geometry share one compile;
+- an optional process pool: ``sweep(configs, workers=N)`` fans candidates
+  out across processes while preserving the input ordering, so results
+  are deterministic regardless of worker count.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.accelerator.area import AreaModel
 from repro.accelerator.config import (
@@ -21,7 +33,9 @@ from repro.accelerator.config import (
 from repro.accelerator.power import PowerModel
 from repro.accelerator.scaling import scale_power
 from repro.analysis.pareto import DesignPoint2D, pareto_front_points
-from repro.compiler.executable import compile_graph
+from repro.accelerator.simulator import CycleSimulator
+from repro.compiler.executable import ProgramCache, compile_graph_uncached
+from repro.compiler.packed_codegen import lower_packed
 from repro.errors import ConfigurationError
 from repro.models.graph import Graph
 
@@ -58,17 +72,44 @@ class DSEExplorer:
         deployment_node_nm: int = 45,
         power_budget_watts: float = SMARTSSD_POWER_BUDGET_WATTS
         * ACCELERATOR_POWER_SHARE,
+        engine: str = "packed",
+        cache_programs: bool = True,
     ) -> None:
         """``deployment_node_nm`` defaults to the 45 nm synthesis node —
         the conservative budget check under which the paper's Dim128
         point is the largest feasible array.  Pass 14 to budget against
-        the scaled deployment silicon instead."""
+        the scaled deployment silicon instead.  ``engine`` selects the
+        simulation path (``"packed"`` fast engine or the ``"scalar"``
+        reference oracle; both are bit-identical).  ``cache_programs``
+        disables the cross-sweep compiled-program cache when False —
+        benchmarks use that to measure the cold-compile baseline."""
         if power_budget_watts <= 0:
             raise ConfigurationError("non-positive power budget")
+        if engine not in ("packed", "scalar"):
+            raise ConfigurationError(f"unknown simulation engine {engine!r}")
         self._models = list(eval_models) if eval_models else _default_eval_models()
         self._deployment_node_nm = deployment_node_nm
         self._power_budget_watts = power_budget_watts
-        self._cache: Dict[str, DesignPointResult] = {}
+        self._engine = engine
+        # Keyed by the (frozen, hashable) config itself — labels do not
+        # encode frequency or tech node, so they can alias design points.
+        self._cache: Dict[DSAConfig, DesignPointResult] = {}
+        self._cache_programs = cache_programs
+        self._programs = ProgramCache()
+
+    def __getstate__(self):
+        # Sweep workers receive a lean copy: result/program caches are
+        # per-process (and re-shipping compiled programs would dwarf the
+        # configs being evaluated).
+        state = dict(self.__dict__)
+        state["_cache"] = {}
+        state["_programs"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self._programs is None:
+            self._programs = ProgramCache()
 
     @property
     def eval_models(self) -> List[Graph]:
@@ -76,15 +117,26 @@ class DSEExplorer:
 
     def evaluate(self, config: DSAConfig) -> DesignPointResult:
         """Cycle-simulate the eval set on ``config``."""
-        if config.label in self._cache:
-            return self._cache[config.label]
+        if config in self._cache:
+            return self._cache[config]
 
         total_latency = 0.0
         dynamic_j = 0.0
         fps_values = []
         power_model = PowerModel(config)
+        simulator = CycleSimulator(config)
         for graph in self._models:
-            report = compile_graph(graph, config).simulate()
+            if self._engine == "packed":
+                # Fast path: direct graph -> columns lowering (no Python
+                # instruction objects), shared across configs via tiling key.
+                if self._cache_programs:
+                    packed = self._programs.get_packed(graph, config)
+                else:
+                    packed = lower_packed(graph, config)
+                report = simulator.run_packed(packed)
+            else:
+                executable = compile_graph_uncached(graph, config)
+                report = executable.simulate(engine="scalar")
             total_latency += report.latency_s
             dynamic_j += report.energy.total_j - report.energy.leakage_j
             fps_values.append(1.0 / report.latency_s)
@@ -109,14 +161,42 @@ class DSEExplorer:
             area_mm2=AreaModel(config).total_mm2(),
             feasible=feasible,
         )
-        self._cache[config.label] = result
+        self._cache[config] = result
         return result
 
-    def sweep(self, configs: Sequence[DSAConfig]) -> List[DesignPointResult]:
-        """Evaluate every candidate configuration."""
+    def sweep(
+        self, configs: Sequence[DSAConfig], workers: Optional[int] = None
+    ) -> List[DesignPointResult]:
+        """Evaluate every candidate configuration.
+
+        ``workers`` > 1 fans the sweep out over a process pool.  Results
+        come back in input order and each evaluation is deterministic, so
+        the output is identical to the serial sweep — only faster on
+        multi-core hosts.  Worker results are folded back into this
+        explorer's cache.
+        """
         if not configs:
             raise ConfigurationError("empty candidate list")
-        return [self.evaluate(config) for config in configs]
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"non-positive worker count: {workers}")
+        if workers is None or workers == 1 or len(configs) == 1:
+            return [self.evaluate(config) for config in configs]
+
+        pending = []
+        queued = set()
+        for config in configs:
+            if config not in self._cache and config not in queued:
+                queued.add(config)
+                pending.append(config)
+        if pending:
+            chunk = max(1, len(pending) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                evaluated = list(
+                    pool.map(self.evaluate, pending, chunksize=chunk)
+                )
+            for result in evaluated:
+                self._cache[result.config] = result
+        return [self._cache[config] for config in configs]
 
     @staticmethod
     def power_pareto(results: Sequence[DesignPointResult]) -> List[DesignPointResult]:

@@ -43,7 +43,14 @@ def build_context(
     platform_names: Optional[Sequence[str]] = None,
     fabric: Optional[StorageFabric] = None,
 ) -> SuiteContext:
-    """Build the benchmark suite plus execution models for the platforms."""
+    """Build the benchmark suite plus execution models for the platforms.
+
+    DSA-backed platforms compile benchmark graphs through the process-wide
+    :func:`~repro.compiler.executable.shared_program_cache` and simulate
+    with the vectorized packed engine, so repeated context builds (one per
+    figure harness) reuse compilation: the graph fingerprint is
+    content-based, and freshly rebuilt suites hash to the same programs.
+    """
     fabric = fabric or StorageFabric()
     names = list(platform_names) if platform_names else list(PLATFORM_BUILDERS)
     models = {}

@@ -36,15 +36,18 @@ def run(
     square_only: bool = True,
     configs: Optional[Sequence[DSAConfig]] = None,
     explorer: Optional[DSEExplorer] = None,
+    workers: Optional[int] = None,
 ) -> ParetoStudy:
     """Regenerate the power-performance study.
 
     ``square_only=True`` sweeps the coarse (square-array) subset for quick
     runs; pass ``square_only=False`` for the full >650-point space.
+    ``workers`` > 1 fans the sweep over a process pool (results are
+    deterministic and ordering-independent of the worker count).
     """
     explorer = explorer or DSEExplorer()
     candidates = list(configs) if configs else design_space(square_only=square_only)
-    results = explorer.sweep(candidates)
+    results = explorer.sweep(candidates, workers=workers)
     frontier = explorer.power_pareto(results)
     best = explorer.best_feasible(results)
     return ParetoStudy(results=results, frontier=frontier, best_feasible=best)

@@ -18,11 +18,16 @@ def run(
     square_only: bool = True,
     configs: Optional[Sequence[DSAConfig]] = None,
     explorer: Optional[DSEExplorer] = None,
+    workers: Optional[int] = None,
 ) -> ParetoStudy:
-    """Regenerate the area-performance study."""
+    """Regenerate the area-performance study.
+
+    ``workers`` > 1 fans the sweep over a process pool, exactly as in
+    :func:`repro.experiments.fig07.run`.
+    """
     explorer = explorer or DSEExplorer()
     candidates = list(configs) if configs else design_space(square_only=square_only)
-    results = explorer.sweep(candidates)
+    results = explorer.sweep(candidates, workers=workers)
     frontier = explorer.area_pareto(results)
     best = explorer.best_feasible(results)
     return ParetoStudy(results=results, frontier=frontier, best_feasible=best)

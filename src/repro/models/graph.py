@@ -10,6 +10,7 @@ whose extra elementwise adds *are* represented explicitly.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
@@ -84,6 +85,24 @@ class Graph:
     def ops(self) -> List[Op]:
         """The operators in execution order (copy)."""
         return list(self._ops)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (name + ordered op fields).
+
+        Ops are frozen dataclasses with deterministic ``repr``, so hashing
+        their reprs identifies the compilation input exactly.  Used as the
+        graph half of the cross-sweep compiled-program cache key; stable
+        across processes (unlike ``hash``), so process-pool sweep workers
+        agree on it.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            digest = hashlib.sha1(self.name.encode())
+            for op in self._ops:
+                digest.update(repr(op).encode())
+            cached = digest.hexdigest()
+            self._fingerprint = cached
+        return cached
 
     @property
     def input(self) -> TensorSpec:

@@ -52,8 +52,10 @@ class DSAPlatform(ComputePlatform):
         key = (graph.name, batch)
         if key not in self._cache:
             batched = graph.with_batch(batch)
+            # Shared program cache + packed engine: platform instances that
+            # agree on tiling (and repeated context builds) compile once.
             executable = compile_graph(batched, self.dsa_config)
-            self._cache[key] = executable.simulate()
+            self._cache[key] = executable.simulate(engine="packed")
         return self._cache[key]
 
     def compute_latency_seconds(self, graph: Graph, batch: int = 1) -> float:

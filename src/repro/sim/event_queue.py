@@ -9,7 +9,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.errors import SimulationError
 
@@ -60,6 +60,27 @@ class EventQueue:
         heapq.heappush(self._heap, entry)
         self._live += 1
         return entry
+
+    def push_many(self, events: Iterable[Event]) -> List[_Entry]:
+        """Bulk-schedule ``events``; returns their handles in input order.
+
+        A single ``heapify`` over the merged backing list is O(n + m),
+        versus O(m log(n + m)) for m individual pushes — the win that
+        matters when seeding a simulation with a whole trace of arrivals.
+        Insertion-order tie-breaking is identical to sequential pushes.
+        """
+        entries: List[_Entry] = []
+        for event in events:
+            if event.time < 0:
+                raise SimulationError(
+                    f"event scheduled at negative time {event.time}"
+                )
+            entries.append(_Entry(event.time, next(self._counter), event))
+        if entries:
+            self._heap.extend(entries)
+            heapq.heapify(self._heap)
+            self._live += len(entries)
+        return entries
 
     def cancel(self, entry: _Entry) -> None:
         """Mark a previously pushed event as cancelled (lazy deletion)."""

@@ -125,3 +125,27 @@ class TestRackSimulation:
             RackSimulation(model, suite, max_instances=0)
         with pytest.raises(ConfigurationError):
             RackSimulation(model, suite, queue_depth=0)
+
+
+class TestServiceSamplePool:
+    def test_pool_grows_instead_of_wrapping(self, suite):
+        from repro.cluster.simulation import _PRESAMPLE_COUNT
+
+        model = ServerlessExecutionModel(platform=dscs_dsa())
+        sim = RackSimulation(model, suite, max_instances=4)
+        app_name = next(iter(suite))
+        draws = [sim._service_time(app_name) for _ in range(_PRESAMPLE_COUNT + 10)]
+        pool = sim._service_samples[app_name]
+        # Exhausting the initial pool doubled it rather than cycling.
+        assert len(pool) == 2 * _PRESAMPLE_COUNT
+        # The overflow draws must come from fresh samples, not a replay of
+        # the first ten (a wrap would correlate long traces).
+        assert draws[_PRESAMPLE_COUNT:] != draws[:10]
+
+    def test_draws_are_sequential_prefix_of_pool(self, suite):
+        model = ServerlessExecutionModel(platform=dscs_dsa())
+        sim = RackSimulation(model, suite, max_instances=4)
+        app_name = next(iter(suite))
+        draws = [sim._service_time(app_name) for _ in range(100)]
+        pool = sim._service_samples[app_name]
+        assert draws == [float(x) for x in pool[:100]]

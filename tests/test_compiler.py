@@ -180,3 +180,91 @@ def test_tiling_invariants_property(m, n, k, dtype_bytes):
     assert 1 <= plan.tile_n <= min(n, 128)
     assert 1 <= plan.tile_k <= min(k, 128)
     assert plan.total_dram_traffic_bytes() >= (k * n + m * n) * dtype_bytes
+
+
+class TestProgramCache:
+    def test_shared_tiling_reuses_compilation(self):
+        from repro.accelerator.config import DDR4, HBM2
+        from repro.compiler import ProgramCache
+        from repro.compiler.executable import compile_graph as compile_cached
+
+        cache = ProgramCache()
+        graph = simple_graph()
+        ddr = compile_cached(graph, DSAConfig(memory=DDR4), cache=cache)
+        hbm = compile_cached(graph, DSAConfig(memory=HBM2), cache=cache)
+        # Memory technology is not tiling-relevant: one compile, one hit.
+        assert ddr.program is hbm.program
+        assert ddr.packed is hbm.packed
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_distinct_tiling_compiles_separately(self):
+        from repro.compiler import ProgramCache
+
+        cache = ProgramCache()
+        graph = simple_graph()
+        a = compile_graph(graph, DSAConfig(pe_rows=32, pe_cols=32), cache=cache)
+        b = compile_graph(graph, DSAConfig(pe_rows=64, pe_cols=64), cache=cache)
+        assert a.program is not b.program
+        assert cache.misses == 2
+
+    def test_rebuilt_graph_hits_by_fingerprint(self):
+        from repro.compiler import ProgramCache
+
+        cache = ProgramCache()
+        compile_graph(simple_graph(), DSAConfig(), cache=cache)
+        compile_graph(simple_graph(), DSAConfig(), cache=cache)
+        assert cache.hits == 1
+
+    def test_lru_bound_respected(self):
+        from repro.compiler import ProgramCache
+
+        cache = ProgramCache(maxsize=2)
+        graph = simple_graph()
+        for dim in (16, 32, 64):
+            compile_graph(graph, DSAConfig(pe_rows=dim, pe_cols=dim), cache=cache)
+        assert len(cache) == 2
+
+    def test_uncached_compile_matches_cached(self):
+        from repro.compiler import compile_graph_uncached
+
+        graph = simple_graph()
+        config = DSAConfig()
+        cached = compile_graph(graph, config)
+        cold = compile_graph_uncached(graph, config)
+        assert cached.simulate() == cold.simulate()
+        assert cold.simulate(force=True, engine="scalar") == cached.simulate()
+
+    def test_tiling_key_fields(self):
+        from repro.accelerator.config import DDR4
+        from repro.compiler import tiling_key
+
+        base = DSAConfig()
+        assert tiling_key(base) == tiling_key(DSAConfig(memory=DDR4))
+        assert tiling_key(base) != tiling_key(DSAConfig(buffer_bytes=8 * MB))
+
+
+class TestGraphFingerprint:
+    def test_stable_across_rebuilds(self):
+        assert simple_graph().fingerprint() == simple_graph().fingerprint()
+
+    def test_differs_for_different_graphs(self):
+        assert resnet50().fingerprint() != simple_graph().fingerprint()
+
+    def test_row_budget_evicts_large_entries(self):
+        from repro.compiler import ProgramCache
+
+        graph = simple_graph()
+        cache = ProgramCache(maxsize=10, max_rows=1)
+        compile_graph(graph, DSAConfig(pe_rows=16, pe_cols=16), cache=cache)
+        compile_graph(graph, DSAConfig(pe_rows=32, pe_cols=32), cache=cache)
+        # Every entry exceeds the budget, so only the newest survives.
+        assert len(cache) == 1
+
+    def test_invalid_engine_rejected_even_when_memoised(self):
+        from repro.errors import ConfigurationError
+
+        executable = compile_graph(simple_graph(), DSAConfig())
+        executable.simulate()  # memoise
+        with pytest.raises(ConfigurationError):
+            executable.simulate(engine="scaler")

@@ -114,3 +114,43 @@ class TestExplorer:
         small = explorer.evaluate(DSAConfig(pe_rows=16, pe_cols=16))
         large = explorer.evaluate(DSAConfig(pe_rows=256, pe_cols=256))
         assert large.total_power_watts > small.total_power_watts
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        configs = [DSAConfig(pe_rows=d, pe_cols=d) for d in (8, 16, 32, 64)]
+        serial = tiny_explorer().sweep(configs)
+        parallel = tiny_explorer().sweep(configs, workers=2)
+        assert [r.label for r in parallel] == [r.label for r in serial]
+        for a, b in zip(serial, parallel):
+            assert a == b
+
+    def test_parallel_preserves_input_order(self):
+        configs = [DSAConfig(pe_rows=d, pe_cols=d) for d in (64, 8, 32)]
+        results = tiny_explorer().sweep(configs, workers=2)
+        assert [r.config.pe_rows for r in results] == [64, 8, 32]
+
+    def test_parallel_fills_local_cache(self):
+        explorer = tiny_explorer()
+        configs = [DSAConfig(pe_rows=d, pe_cols=d) for d in (8, 16)]
+        results = explorer.sweep(configs, workers=2)
+        # A repeat sweep must reuse the folded-back results.
+        assert explorer.sweep(configs) == results
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_explorer().sweep([DSAConfig()], workers=0)
+
+    def test_scalar_engine_oracle_agrees(self):
+        config = DSAConfig(pe_rows=32, pe_cols=32)
+        fast = DSEExplorer(
+            eval_models=tiny_explorer().eval_models, engine="packed"
+        ).evaluate(config)
+        oracle = DSEExplorer(
+            eval_models=tiny_explorer().eval_models, engine="scalar"
+        ).evaluate(config)
+        assert fast == oracle
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DSEExplorer(engine="quantum")

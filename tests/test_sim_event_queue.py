@@ -88,3 +88,48 @@ def test_bool_conversion():
     assert not queue
     queue.push(Event(0.0, _noop))
     assert queue
+
+
+def test_push_many_matches_sequential_pushes():
+    bulk = EventQueue()
+    one_by_one = EventQueue()
+    events = [Event(float(t), _noop, i) for i, t in enumerate([5, 1, 3, 1, 2])]
+    bulk.push_many(events)
+    for event in events:
+        one_by_one.push(event)
+    assert len(bulk) == len(one_by_one) == 5
+    drained = [bulk.pop().payload for _ in range(5)]
+    expected = [one_by_one.pop().payload for _ in range(5)]
+    assert drained == expected  # same time order AND same tie-breaking
+
+
+def test_push_many_into_populated_queue():
+    queue = EventQueue()
+    queue.push(Event(2.0, _noop, "existing"))
+    queue.push_many([Event(1.0, _noop, "early"), Event(3.0, _noop, "late")])
+    assert [queue.pop().payload for _ in range(3)] == [
+        "early",
+        "existing",
+        "late",
+    ]
+
+
+def test_push_many_returns_cancelable_handles():
+    queue = EventQueue()
+    handles = queue.push_many([Event(1.0, _noop, "a"), Event(2.0, _noop, "b")])
+    assert len(handles) == 2
+    queue.cancel(handles[0])
+    assert len(queue) == 1
+    assert queue.pop().payload == "b"
+
+
+def test_push_many_empty_is_noop():
+    queue = EventQueue()
+    assert queue.push_many([]) == []
+    assert len(queue) == 0
+
+
+def test_push_many_rejects_negative_time():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.push_many([Event(1.0, _noop), Event(-0.5, _noop)])
