@@ -3,7 +3,10 @@
 A rack of up to 200 function instances fed by a bursty Poisson request
 trace for 20 minutes, with an FCFS scheduler holding up to 10,000 queued
 requests.  Produces the arrival/queue-depth/latency time series of
-Fig. 13 and the wall-clock comparison of §6.2.2.
+Fig. 13 and the wall-clock comparison of §6.2.2.  FCFS runs execute on
+the vectorized busy-period engine (:mod:`repro.cluster.fast_engine`),
+bit-identical to the event-driven oracle; :mod:`repro.cluster.sweep`
+fans scenario grids out over shared traces and service samples.
 """
 
 from repro.cluster.schedulers import (
@@ -14,7 +17,17 @@ from repro.cluster.schedulers import (
     QueuedRequest,
     ShortestJobFirstPolicy,
 )
-from repro.cluster.simulation import RackSimulation, SimulationSeries
+from repro.cluster.simulation import (
+    RackSimulation,
+    ServiceSampleCache,
+    SimulationSeries,
+)
+from repro.cluster.sweep import (
+    RackScenario,
+    RackSweep,
+    ScenarioResult,
+    scenario_grid,
+)
 from repro.cluster.trace import RequestTrace, TraceGenerator
 
 __all__ = [
@@ -23,9 +36,14 @@ __all__ = [
     "FCFSPolicy",
     "PolicyFactory",
     "QueuedRequest",
+    "RackScenario",
     "RackSimulation",
+    "RackSweep",
     "RequestTrace",
+    "ScenarioResult",
+    "ServiceSampleCache",
     "ShortestJobFirstPolicy",
     "SimulationSeries",
     "TraceGenerator",
+    "scenario_grid",
 ]

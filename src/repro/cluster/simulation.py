@@ -5,6 +5,20 @@ with a bounded queue (depth 10,000).  Per-request service times are drawn
 from the execution model's latency distribution for the request's
 application, pre-sampled in bulk for speed.  Outputs the queue-depth and
 latency time series of Fig. 13 plus aggregate wall-clock statistics.
+
+Two engines produce those series:
+
+- ``engine="event"`` — the reference oracle: a timestamp-ordered event
+  queue firing one callback per arrival, completion, and sample tick.
+- ``engine="vectorized"`` — the numpy busy-period engine in
+  :mod:`repro.cluster.fast_engine`; for FCFS it is bit-identical to the
+  oracle (same drops, same latencies, same series, same RNG end state)
+  at a fraction of the wall-clock cost.
+
+The default ``engine="auto"`` picks the vectorized engine whenever the
+run is FCFS over a time-ordered trace and transparently falls back to the
+event-driven path otherwise (SJF / criticality / DAG-aware policies
+reorder the queue, which the array formulation does not model).
 """
 
 from __future__ import annotations
@@ -14,6 +28,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cluster.fast_engine import run_vectorized, sample_tick_times
 from repro.cluster.schedulers import FCFSPolicy, PolicyFactory, QueuedRequest
 from repro.core.model import ServerlessExecutionModel
 from repro.cluster.trace import RequestTrace
@@ -23,6 +38,56 @@ from repro.sim.event_queue import Event, EventQueue
 
 # Number of latency samples pre-drawn per application.
 _PRESAMPLE_COUNT = 4096
+
+_ENGINES = ("auto", "event", "vectorized")
+
+
+class ServiceSampleCache:
+    """Memoised service-time draw blocks, shared across simulations.
+
+    A sweep runs the same platform model over the same trace under many
+    scenario knobs (instance counts, policies, cold starts); each run
+    draws the same pre-sample blocks from the same RNG states.  The cache
+    keys a draw by ``(model, application, count, cold, RNG state)`` and
+    replays the stored block *and* the post-draw RNG state on a hit, so
+    cached runs stay bit-identical to uncached ones.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[tuple, tuple] = {}
+        # Strong refs keep id()-based keys unambiguous for the cache's
+        # lifetime (a collected model's id could otherwise be reused).
+        self._pinned: List[object] = []
+        self.hits = 0
+        self.misses = 0
+
+    def draw(
+        self,
+        model: ServerlessExecutionModel,
+        app: Application,
+        rng: np.random.Generator,
+        count: int,
+        cold: bool = False,
+    ) -> np.ndarray:
+        key = (
+            id(model),
+            id(app),
+            int(count),
+            bool(cold),
+            repr(rng.bit_generator.state),
+        )
+        cached = self._blocks.get(key)
+        if cached is not None:
+            values, state_after = cached
+            rng.bit_generator.state = state_after
+            self.hits += 1
+            return values
+        values = model.sample_latencies(app, rng, count, cold=cold)
+        self._blocks[key] = (values, rng.bit_generator.state)
+        self._pinned.append(model)
+        self._pinned.append(app)
+        self.misses += 1
+        return values
 
 
 @dataclass
@@ -43,7 +108,13 @@ class SimulationSeries:
             raise ConfigurationError(f"non-positive bucket: {bucket_seconds}")
         if len(self.completed_times) == 0:
             return np.array([])
-        horizon = float(self.sample_times[-1]) if len(self.sample_times) else 0.0
+        # The horizon must cover completions that land after the last
+        # sample tick (a saturated rack keeps draining past the trace
+        # end); clamping them into the final sampled bucket would skew
+        # its mean with the whole backlog.
+        horizon = float(self.completed_times.max())
+        if len(self.sample_times):
+            horizon = max(horizon, float(self.sample_times[-1]))
         buckets = max(1, int(np.ceil(horizon / bucket_seconds)))
         sums = np.zeros(buckets)
         counts = np.zeros(buckets)
@@ -55,6 +126,21 @@ class SimulationSeries:
         with np.errstate(invalid="ignore", divide="ignore"):
             means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
         return means
+
+    def identical_to(self, other: "SimulationSeries") -> bool:
+        """Exact (bit-level) equality with another run's series."""
+        return (
+            self.dropped_requests == other.dropped_requests
+            and self.total_requests == other.total_requests
+            and np.array_equal(self.sample_times, other.sample_times)
+            and np.array_equal(self.queue_depth, other.queue_depth)
+            and np.array_equal(self.busy_instances, other.busy_instances)
+            and np.array_equal(
+                self.completed_latency_seconds,
+                other.completed_latency_seconds,
+            )
+            and np.array_equal(self.completed_times, other.completed_times)
+        )
 
     @property
     def wall_clock_seconds(self) -> float:
@@ -86,6 +172,8 @@ class RackSimulation:
         queue_depth: int = 10_000,
         seed: int = 2024,
         policy: Optional[PolicyFactory] = None,
+        cold: bool = False,
+        sample_cache: Optional[ServiceSampleCache] = None,
     ) -> None:
         if max_instances <= 0:
             raise ConfigurationError(f"non-positive instances: {max_instances}")
@@ -97,8 +185,23 @@ class RackSimulation:
         self._queue_depth = queue_depth
         self._rng = np.random.default_rng(seed)
         self._policy_factory = policy
+        self._cold = cold
+        self._sample_cache = sample_cache
         self._service_samples: Dict[str, np.ndarray] = {}
         self._service_cursor: Dict[str, int] = {}
+
+    def _draw_service_block(self, app_name: str, count: int) -> np.ndarray:
+        """Draw ``count`` service times for ``app_name`` from the RNG."""
+        app = self._applications.get(app_name)
+        if app is None:
+            raise SchedulingError(f"unknown application {app_name!r}")
+        if self._sample_cache is not None:
+            return self._sample_cache.draw(
+                self._model, app, self._rng, count, cold=self._cold
+            )
+        return self._model.sample_latencies(
+            app, self._rng, count, cold=self._cold
+        )
 
     def _service_time(self, app_name: str) -> float:
         """Next pre-sampled service time for ``app_name``.
@@ -109,37 +212,48 @@ class RackSimulation:
         """
         samples = self._service_samples.get(app_name)
         if samples is None:
-            app = self._applications.get(app_name)
-            if app is None:
-                raise SchedulingError(f"unknown application {app_name!r}")
-            samples = self._model.sample_latencies(
-                app, self._rng, _PRESAMPLE_COUNT
-            )
+            samples = self._draw_service_block(app_name, _PRESAMPLE_COUNT)
             self._service_samples[app_name] = samples
             self._service_cursor[app_name] = 0
         cursor = self._service_cursor[app_name]
         if cursor >= len(samples):
-            app = self._applications[app_name]
-            fresh = self._model.sample_latencies(app, self._rng, len(samples))
+            fresh = self._draw_service_block(app_name, len(samples))
             samples = np.concatenate([samples, fresh])
             self._service_samples[app_name] = samples
         self._service_cursor[app_name] = cursor + 1
         return float(samples[cursor])
 
     def run(
-        self, trace: RequestTrace, sample_interval_seconds: float = 1.0
+        self,
+        trace: RequestTrace,
+        sample_interval_seconds: float = 1.0,
+        engine: str = "auto",
     ) -> SimulationSeries:
-        """Simulate ``trace`` and return the measurement series."""
+        """Simulate ``trace`` and return the measurement series.
+
+        ``engine`` selects the execution strategy: ``"event"`` forces the
+        event-driven oracle, ``"vectorized"`` the numpy fast path (FCFS
+        only — non-FCFS policies transparently fall back to the oracle),
+        and ``"auto"`` (default) vectorizes whenever it can.
+        """
         if sample_interval_seconds <= 0:
             raise ConfigurationError(
                 f"non-positive sample interval: {sample_interval_seconds}"
             )
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
 
-        events = EventQueue()
         if self._policy_factory is not None:
             queue = self._policy_factory.build()
         else:
             queue = FCFSPolicy()
+
+        if engine != "event" and self._vectorizable(queue, trace):
+            return run_vectorized(self, trace, sample_interval_seconds)
+
+        events = EventQueue()
         busy = 0
         dropped = 0
         latencies: List[float] = []
@@ -191,13 +305,12 @@ class RackSimulation:
                 Event(float(arrival), on_arrival, (request, float(arrival)))
             )
         events.push_many(arrivals)
-        horizon = trace.duration_seconds
-        ticks = []
-        tick = sample_interval_seconds
-        while tick <= horizon:
-            ticks.append(Event(tick, on_sample, tick))
-            tick += sample_interval_seconds
-        events.push_many(ticks)
+        ticks = sample_tick_times(
+            trace.duration_seconds, sample_interval_seconds
+        )
+        events.push_many(
+            Event(tick, on_sample, tick) for tick in ticks.tolist()
+        )
 
         while events:
             events.pop().fire()
@@ -211,3 +324,11 @@ class RackSimulation:
             dropped_requests=dropped,
             total_requests=len(trace),
         )
+
+    @staticmethod
+    def _vectorizable(queue, trace: RequestTrace) -> bool:
+        """FCFS over a time-ordered trace is what the fast engine models."""
+        if not isinstance(queue, FCFSPolicy):
+            return False
+        arrivals = trace.arrival_seconds
+        return len(arrivals) == 0 or bool(np.all(np.diff(arrivals) >= 0))

@@ -1,0 +1,269 @@
+"""Scenario sweep harness for rack-scale studies (Figs. 13, 15-17).
+
+At-scale questions are grids: every request-rate scale times every fleet
+size times every scheduling policy, for both platforms.  Run naively,
+each cell regenerates the same 20-minute trace and redraws the same
+service-sample blocks.  :class:`RackSweep` runs a list of
+:class:`RackScenario` cells over one shared
+:class:`~repro.experiments.common.SuiteContext`, reusing
+
+- **traces** — keyed by ``(seed, rate_scale)``, generated once; and
+- **service samples** — a per-sweep
+  :class:`~repro.cluster.simulation.ServiceSampleCache` replays draw
+  blocks (and their RNG state transitions) across cells, so scenarios
+  that differ only in fleet size or policy do not re-sample the latency
+  distributions they share.
+
+Both reuses are bit-exact: a sweep cell produces the same
+:class:`~repro.cluster.simulation.SimulationSeries` it would produce run
+standalone.  The per-figure harnesses (``fig13.sweep``,
+``fig15.run_rack``, ``fig16.run_rack``, ``fig17.run_rack``) are thin
+grids over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.schedulers import PolicyFactory
+from repro.cluster.simulation import (
+    RackSimulation,
+    ServiceSampleCache,
+    SimulationSeries,
+)
+from repro.cluster.trace import DEFAULT_RATE_ENVELOPE, RequestTrace, TraceGenerator
+from repro.errors import ConfigurationError
+
+# Policy grid values understood by :meth:`RackSweep.run`.
+POLICY_NAMES = ("fcfs", "sjf", "criticality", "dag")
+
+# Sample count for the per-app expected-service estimates SJF sorts by.
+_ESTIMATE_SAMPLES = 256
+
+
+@dataclass(frozen=True)
+class RackScenario:
+    """One cell of a rack-scale study grid."""
+
+    platform: str
+    rate_scale: float = 1.0
+    max_instances: int = 200
+    policy: str = "fcfs"
+    queue_depth: int = 10_000
+    cold: bool = False
+    seed: int = 13
+
+    def label(self) -> str:
+        parts = [
+            self.platform,
+            f"rate x{self.rate_scale:g}",
+            f"{self.max_instances} inst",
+            self.policy,
+        ]
+        if self.cold:
+            parts.append("cold")
+        return " | ".join(parts)
+
+
+@dataclass
+class ScenarioResult:
+    """A scenario plus its measurement series and summary statistics."""
+
+    scenario: RackScenario
+    series: SimulationSeries
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        return self.series.mean_latency_seconds
+
+    def latency_percentile(self, percentile: float) -> float:
+        latencies = self.series.completed_latency_seconds
+        if len(latencies) == 0:
+            return float("nan")
+        return float(np.percentile(latencies, percentile))
+
+    @property
+    def p95_latency_seconds(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency_seconds(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        depth = self.series.queue_depth
+        return int(depth.max()) if len(depth) else 0
+
+    @property
+    def dropped_requests(self) -> int:
+        return self.series.dropped_requests
+
+    @property
+    def drop_fraction(self) -> float:
+        total = self.series.total_requests
+        return self.series.dropped_requests / total if total else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for tables / JSON records."""
+        return {
+            "scenario": self.scenario.label(),
+            "requests": self.series.total_requests,
+            "mean_latency_s": round(self.mean_latency_seconds, 6),
+            "p95_latency_s": round(self.p95_latency_seconds, 6),
+            "p99_latency_s": round(self.p99_latency_seconds, 6),
+            "peak_queue": self.peak_queue_depth,
+            "dropped": self.dropped_requests,
+            "wall_clock_s": round(self.series.wall_clock_seconds, 3),
+        }
+
+
+def scenario_grid(
+    platforms: Sequence[str],
+    rate_scales: Sequence[float] = (1.0,),
+    max_instances: Sequence[int] = (200,),
+    policies: Sequence[str] = ("fcfs",),
+    queue_depth: int = 10_000,
+    cold: bool = False,
+    seed: int = 13,
+) -> List[RackScenario]:
+    """The full cross product, ordered platform-major for cache locality."""
+    return [
+        RackScenario(
+            platform=platform,
+            rate_scale=float(rate_scale),
+            max_instances=int(instances),
+            policy=policy,
+            queue_depth=queue_depth,
+            cold=cold,
+            seed=seed,
+        )
+        for platform in platforms
+        for rate_scale in rate_scales
+        for instances in max_instances
+        for policy in policies
+    ]
+
+
+class RackSweep:
+    """Runs scenario grids over one suite context with shared inputs."""
+
+    def __init__(
+        self,
+        context,
+        rate_envelope: Sequence[float] = DEFAULT_RATE_ENVELOPE,
+        segment_seconds: float = 60.0,
+        sample_interval_seconds: float = 1.0,
+        engine: str = "auto",
+        reuse_service_samples: bool = True,
+    ) -> None:
+        self._context = context
+        self._envelope = tuple(float(rate) for rate in rate_envelope)
+        self._segment_seconds = segment_seconds
+        self._sample_interval = sample_interval_seconds
+        self._engine = engine
+        self._caches: Optional[Dict[str, ServiceSampleCache]] = (
+            {} if reuse_service_samples else None
+        )
+        self._traces: Dict[Tuple[int, float], RequestTrace] = {}
+        self._estimates: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def trace_for(self, seed: int, rate_scale: float) -> RequestTrace:
+        """The (cached) trace realisation for one ``(seed, rate_scale)``."""
+        key = (int(seed), float(rate_scale))
+        trace = self._traces.get(key)
+        if trace is None:
+            envelope = tuple(rate * rate_scale for rate in self._envelope)
+            generator = TraceGenerator(
+                self._context.app_names,
+                rate_envelope=envelope,
+                segment_seconds=self._segment_seconds,
+            )
+            trace = generator.generate(np.random.default_rng(seed))
+            self._traces[key] = trace
+        return trace
+
+    def _service_estimates(self, platform: str) -> Dict[str, float]:
+        """Deterministic per-app expected service times (for SJF)."""
+        estimates = self._estimates.get(platform)
+        if estimates is None:
+            model = self._context.models[platform]
+            estimates = {
+                name: float(
+                    np.mean(
+                        model.sample_latencies(
+                            app, np.random.default_rng(0), _ESTIMATE_SAMPLES
+                        )
+                    )
+                )
+                for name, app in self._context.applications.items()
+            }
+            self._estimates[platform] = estimates
+        return estimates
+
+    def _policy_factory(
+        self, scenario: RackScenario
+    ) -> Optional[PolicyFactory]:
+        name = scenario.policy
+        if name == "fcfs":
+            return None
+        if name == "sjf":
+            return PolicyFactory(
+                "sjf",
+                service_estimates=self._service_estimates(scenario.platform),
+            )
+        if name == "criticality":
+            return PolicyFactory("criticality", priorities={})
+        if name == "dag":
+            return PolicyFactory(
+                "dag", applications=self._context.applications
+            )
+        raise ConfigurationError(
+            f"unknown scheduling policy {name!r}; expected one of "
+            f"{POLICY_NAMES}"
+        )
+
+    # ------------------------------------------------------------------
+    def run_one(
+        self, scenario: RackScenario, trace: Optional[RequestTrace] = None
+    ) -> ScenarioResult:
+        """Run a single grid cell (bit-identical to a standalone run)."""
+        model = self._context.models.get(scenario.platform)
+        if model is None:
+            raise ConfigurationError(
+                f"unknown platform {scenario.platform!r}; context has "
+                f"{list(self._context.models)}"
+            )
+        cache = None
+        if self._caches is not None:
+            cache = self._caches.setdefault(
+                scenario.platform, ServiceSampleCache()
+            )
+        simulation = RackSimulation(
+            model,
+            self._context.applications,
+            max_instances=scenario.max_instances,
+            queue_depth=scenario.queue_depth,
+            seed=scenario.seed,
+            policy=self._policy_factory(scenario),
+            cold=scenario.cold,
+            sample_cache=cache,
+        )
+        if trace is None:
+            trace = self.trace_for(scenario.seed, scenario.rate_scale)
+        series = simulation.run(
+            trace, self._sample_interval, engine=self._engine
+        )
+        return ScenarioResult(scenario=scenario, series=series)
+
+    def run(
+        self,
+        scenarios: Iterable[RackScenario],
+        trace: Optional[RequestTrace] = None,
+    ) -> List[ScenarioResult]:
+        """Run every scenario; pass ``trace`` to override trace lookup."""
+        return [self.run_one(scenario, trace=trace) for scenario in scenarios]

@@ -4,15 +4,22 @@
 (c) Baseline (CPU) latency over time; (d) DSCS-Serverless latency over
 time.  The baseline saturates its 200 instances and accumulates queued
 requests, so its latency climbs; DSCS serves the same trace with headroom.
+
+:func:`run` regenerates the paper's figure; :func:`sweep` fans the same
+study out over a rate-scale x fleet-size x policy grid through
+:mod:`repro.cluster.sweep`, reusing traces and service samples across
+cells.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.cluster.simulation import RackSimulation, SimulationSeries
+from repro.cluster.sweep import RackSweep, ScenarioResult, scenario_grid
 from repro.cluster.trace import RequestTrace, TraceGenerator
 from repro.experiments.common import (
     BASELINE_NAME,
@@ -51,6 +58,7 @@ def run(
     seed: int = 13,
     context: SuiteContext = None,
     rate_scale: float = 1.0,
+    engine: str = "auto",
 ) -> AtScaleStudy:
     """Regenerate Fig. 13 end to end."""
     context = context or build_context(
@@ -77,6 +85,34 @@ def run(
     )
     return AtScaleStudy(
         trace=trace,
-        baseline=baseline_sim.run(trace),
-        dscs=dscs_sim.run(trace),
+        baseline=baseline_sim.run(trace, engine=engine),
+        dscs=dscs_sim.run(trace, engine=engine),
     )
+
+
+def sweep(
+    rate_scales: Sequence[float] = (0.5, 1.0),
+    max_instances: Sequence[int] = (100, 200),
+    policies: Sequence[str] = ("fcfs",),
+    seed: int = 13,
+    context: SuiteContext = None,
+    engine: str = "auto",
+) -> List[ScenarioResult]:
+    """The Fig. 13 study as a scenario grid over both platforms.
+
+    Every cell shares the per-``(seed, rate_scale)`` trace realisation
+    and the per-platform service-sample blocks, so widening the grid
+    costs simulation time only, not input regeneration.
+    """
+    context = context or build_context(
+        platform_names=[BASELINE_NAME, DSCS_NAME]
+    )
+    harness = RackSweep(context, engine=engine)
+    scenarios = scenario_grid(
+        platforms=context.platform_names,
+        rate_scales=rate_scales,
+        max_instances=max_instances,
+        policies=policies,
+        seed=seed,
+    )
+    return harness.run(scenarios)

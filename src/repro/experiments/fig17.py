@@ -4,15 +4,22 @@ Both systems pull container images (including model weights) on a cold
 start; DSCS-Serverless can reload a flash-parked image over the P2P link
 (§5.3).  Model-load time is large relative to warm execution, so the
 paper's average speedup drops from 3.6x (warm) to 2.6x (cold).
+
+:func:`run` measures isolated invocations; :func:`run_rack` replays the
+warm/cold comparison on a contended rack via :mod:`repro.cluster.sweep`
+(the scenario grid's ``cold`` knob makes every invocation pay its
+platform's cold-start path), where longer cold service times also mean
+more queueing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.cluster.sweep import RackSweep, ScenarioResult, scenario_grid
 from repro.experiments.common import (
     BASELINE_NAME,
     DSCS_NAME,
@@ -63,3 +70,60 @@ def run(
             )
             sink[app_name] = float(base / dscs)
     return ColdStartStudy(warm_speedups=warm, cold_speedups=cold)
+
+
+@dataclass
+class RackColdStartStudy:
+    """Rack-level warm/cold comparison (p95 of fleet-served latencies)."""
+
+    warm_speedup: float
+    cold_speedup: float
+    results: Dict[Tuple[bool, str], ScenarioResult]  # (cold, platform)
+
+    @property
+    def cold_penalty(self) -> float:
+        """How much of the warm advantage cold starts erode."""
+        return self.warm_speedup / self.cold_speedup
+
+
+def run_rack(
+    rate_scale: float = 1.0,
+    max_instances: int = 200,
+    seed: int = 13,
+    context: SuiteContext = None,
+    engine: str = "auto",
+    percentile: float = 95.0,
+) -> RackColdStartStudy:
+    """Fig. 17 on a contended rack: warm and cold grids, shared inputs.
+
+    Warm and cold cells share the trace and the sweep's service-sample
+    cache keys them separately (``cold`` is part of the draw key), so the
+    comparison is apples-to-apples on identical arrival sequences.
+    """
+    context = context or build_context(
+        platform_names=[BASELINE_NAME, DSCS_NAME]
+    )
+    harness = RackSweep(context, engine=engine)
+    results: Dict[Tuple[bool, str], ScenarioResult] = {}
+    speedups: Dict[bool, float] = {}
+    for is_cold in (False, True):
+        cells = harness.run(
+            scenario_grid(
+                platforms=context.platform_names,
+                rate_scales=(rate_scale,),
+                max_instances=(max_instances,),
+                cold=is_cold,
+                seed=seed,
+            )
+        )
+        by_platform = {cell.scenario.platform: cell for cell in cells}
+        results[(is_cold, BASELINE_NAME)] = by_platform[BASELINE_NAME]
+        results[(is_cold, DSCS_NAME)] = by_platform[DSCS_NAME]
+        speedups[is_cold] = by_platform[BASELINE_NAME].latency_percentile(
+            percentile
+        ) / by_platform[DSCS_NAME].latency_percentile(percentile)
+    return RackColdStartStudy(
+        warm_speedup=speedups[False],
+        cold_speedup=speedups[True],
+        results=results,
+    )

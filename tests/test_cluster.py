@@ -64,6 +64,51 @@ class TestTrace:
         with pytest.raises(ConfigurationError):
             TraceGenerator(list(suite), rate_envelope=(-1.0,))
 
+    def test_zero_rate_segment_produces_silent_gap(self, suite):
+        generator = TraceGenerator(
+            list(suite), rate_envelope=(20.0, 0.0, 20.0), segment_seconds=20.0
+        )
+        trace = generator.generate(np.random.default_rng(4))
+        assert len(trace) > 0
+        in_gap = (trace.arrival_seconds >= 20.0) & (trace.arrival_seconds < 40.0)
+        assert int(np.sum(in_gap)) == 0
+        # The silent segment still counts toward the trace duration.
+        assert trace.duration_seconds == pytest.approx(60.0)
+        assert trace.requests_per_second(20.0)[1] == 0.0
+
+    def test_all_zero_envelope_yields_empty_trace(self, suite):
+        generator = TraceGenerator(
+            list(suite), rate_envelope=(0.0, 0.0), segment_seconds=20.0
+        )
+        trace = generator.generate(np.random.default_rng(4))
+        assert len(trace) == 0
+        assert trace.duration_seconds == pytest.approx(40.0)
+        rps = trace.requests_per_second(20.0)
+        assert np.array_equal(rps, np.zeros(2))
+
+    def test_single_app_trace_assigns_everything_to_it(self, suite):
+        only = next(iter(suite))
+        generator = TraceGenerator(
+            [only], rate_envelope=(15.0,), segment_seconds=20.0
+        )
+        trace = generator.generate(np.random.default_rng(4))
+        assert len(trace) > 0
+        assert set(trace.app_names) == {only}
+
+    def test_requests_per_second_nondivisor_bucket(self, suite):
+        trace = small_trace(suite)  # 60 s trace
+        rps = trace.requests_per_second(7.0)
+        # ceil(60 / 7) buckets, each exactly 7 s wide (the ninth runs
+        # past the trace end), so rate x width recovers every arrival.
+        assert len(rps) == 9
+        assert np.sum(rps) * 7.0 == pytest.approx(len(trace))
+
+    def test_requests_per_second_divisor_bucket_unchanged(self, suite):
+        trace = small_trace(suite)
+        rps = trace.requests_per_second(20.0)
+        assert len(rps) == 3
+        assert np.sum(rps) * 20.0 == pytest.approx(len(trace))
+
 
 class TestRackSimulation:
     def test_all_requests_complete_with_headroom(self, suite):

@@ -1,0 +1,211 @@
+"""The rack scenario sweep harness and its per-figure wirings."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import RackSimulation, ServiceSampleCache
+from repro.cluster.sweep import RackScenario, RackSweep, scenario_grid
+from repro.errors import ConfigurationError
+from repro.experiments import fig13, fig15, fig16, fig17
+from repro.experiments.common import BASELINE_NAME, DSCS_NAME, build_context
+
+# A 60-second three-segment envelope at low rate: a few hundred requests,
+# enough to queue a 2-4 instance fleet without slowing the test suite.
+SMALL_ENVELOPE = (6.0, 18.0, 6.0)
+SEGMENT_SECONDS = 20.0
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
+
+
+@pytest.fixture(scope="module")
+def harness(context):
+    return RackSweep(
+        context,
+        rate_envelope=SMALL_ENVELOPE,
+        segment_seconds=SEGMENT_SECONDS,
+    )
+
+
+class TestScenarioGrid:
+    def test_full_cross_product(self):
+        grid = scenario_grid(
+            platforms=("a", "b"),
+            rate_scales=(0.5, 1.0),
+            max_instances=(2, 4),
+            policies=("fcfs", "sjf"),
+        )
+        assert len(grid) == 16
+        assert len(set(grid)) == 16  # scenarios are hashable and distinct
+
+    def test_labels_mention_knobs(self):
+        scenario = RackScenario(
+            platform="p", rate_scale=2.0, max_instances=7, cold=True
+        )
+        label = scenario.label()
+        assert "p" in label and "x2" in label and "7 inst" in label
+        assert "cold" in label
+
+
+class TestRackSweep:
+    def test_trace_reused_across_cells(self, harness):
+        first = harness.trace_for(seed=3, rate_scale=1.0)
+        again = harness.trace_for(seed=3, rate_scale=1.0)
+        assert first is again
+        other = harness.trace_for(seed=3, rate_scale=2.0)
+        assert other is not first
+
+    def test_cells_match_standalone_runs(self, context, harness):
+        grid = scenario_grid(
+            platforms=(BASELINE_NAME,),
+            rate_scales=(1.0,),
+            max_instances=(2, 4),
+            seed=3,
+        )
+        results = harness.run(grid)
+        for result in results:
+            scenario = result.scenario
+            standalone = RackSimulation(
+                context.models[scenario.platform],
+                context.applications,
+                max_instances=scenario.max_instances,
+                queue_depth=scenario.queue_depth,
+                seed=scenario.seed,
+            ).run(harness.trace_for(scenario.seed, scenario.rate_scale))
+            assert result.series.identical_to(standalone)
+
+    def test_sample_cache_hits_across_cells(self, context):
+        sweep = RackSweep(
+            context,
+            rate_envelope=SMALL_ENVELOPE,
+            segment_seconds=SEGMENT_SECONDS,
+        )
+        grid = scenario_grid(
+            platforms=(DSCS_NAME,),
+            rate_scales=(1.0,),
+            max_instances=(2, 4, 8),
+            seed=3,
+        )
+        sweep.run(grid)
+        cache = sweep._caches[DSCS_NAME]
+        assert cache.hits > 0  # later cells replayed earlier cells' draws
+
+    def test_policy_grid_builds_factories(self, harness):
+        grid = scenario_grid(
+            platforms=(BASELINE_NAME,),
+            max_instances=(2,),
+            policies=("fcfs", "sjf", "criticality", "dag"),
+            seed=3,
+        )
+        results = harness.run(grid)
+        assert len(results) == 4
+        total = results[0].series.total_requests
+        for result in results:
+            assert result.series.total_requests == total
+            assert (
+                len(result.series.completed_latency_seconds)
+                + result.series.dropped_requests
+                == total
+            )
+
+    def test_unknown_platform_rejected(self, harness):
+        with pytest.raises(ConfigurationError):
+            harness.run_one(RackScenario(platform="warp-drive"))
+
+    def test_unknown_policy_rejected(self, harness):
+        with pytest.raises(ConfigurationError):
+            harness.run_one(
+                RackScenario(platform=BASELINE_NAME, policy="lottery")
+            )
+
+    def test_summary_fields(self, harness):
+        result = harness.run_one(
+            RackScenario(platform=BASELINE_NAME, max_instances=2, seed=3)
+        )
+        summary = result.summary()
+        assert summary["requests"] == result.series.total_requests
+        assert summary["p95_latency_s"] >= summary["mean_latency_s"] * 0.1
+        assert summary["peak_queue"] == result.peak_queue_depth
+
+
+class TestServiceSampleCache:
+    def test_replay_is_bit_exact(self, context):
+        model = context.models[DSCS_NAME]
+        app = next(iter(context.applications.values()))
+        cache = ServiceSampleCache()
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        first = cache.draw(model, app, rng_a, 64)
+        replay = cache.draw(model, app, rng_b, 64)
+        assert cache.hits == 1 and cache.misses == 1
+        assert np.array_equal(first, replay)
+        # The replayed RNG advanced exactly like the sampled one.
+        assert repr(rng_a.bit_generator.state) == repr(
+            rng_b.bit_generator.state
+        )
+
+    def test_cold_draws_keyed_separately(self, context):
+        model = context.models[DSCS_NAME]
+        app = next(iter(context.applications.values()))
+        cache = ServiceSampleCache()
+        warm = cache.draw(model, app, np.random.default_rng(5), 64)
+        cold = cache.draw(model, app, np.random.default_rng(5), 64, cold=True)
+        assert cache.misses == 2
+        assert cold.mean() > warm.mean()  # cold starts dominate latency
+
+
+class TestFigureWirings:
+    def test_fig13_sweep_grid(self, context):
+        results = fig13.sweep(
+            rate_scales=(0.01,),
+            max_instances=(4, 8),
+            context=context,
+            seed=5,
+        )
+        assert len(results) == 4  # 2 platforms x 2 fleet sizes
+        by_cell = {
+            (r.scenario.platform, r.scenario.max_instances): r
+            for r in results
+        }
+        # More instances never hurts mean latency on the same trace.
+        for platform in (BASELINE_NAME, DSCS_NAME):
+            assert (
+                by_cell[(platform, 8)].mean_latency_seconds
+                <= by_cell[(platform, 4)].mean_latency_seconds + 1e-12
+            )
+
+    def test_fig15_rack_tail_study(self):
+        study = fig15.run_rack(
+            tail_ratios=(1.5, 3.0),
+            percentiles=(50.0, 99.0),
+            rate_scale=0.01,
+            max_instances=8,
+            seed=5,
+        )
+        for key, speedup in study.speedups.items():
+            assert speedup > 1.0, key
+        # DSCS's advantage grows toward the tail (paper Fig. 15 shape).
+        assert study.at(3.0, 99.0) > study.at(3.0, 50.0)
+
+    def test_fig16_rack_depth_scaling(self, context):
+        study = fig16.run_rack(
+            extras=(0, 2),
+            rate_scale=0.01,
+            max_instances=8,
+            seed=5,
+            context=context,
+        )
+        # Deeper accelerated pipelines widen the gap (paper Fig. 16).
+        assert study.speedup(2) > study.speedup(0) > 1.0
+
+    def test_fig17_rack_cold_start(self, context):
+        study = fig17.run_rack(
+            rate_scale=0.005, max_instances=64, seed=5, context=context
+        )
+        assert study.warm_speedup > 1.0
+        assert study.cold_speedup > 1.0
+        # With queueing headroom the rack study reduces to the paper's
+        # per-invocation comparison: cold starts erode the advantage.
+        assert study.cold_penalty > 1.0
