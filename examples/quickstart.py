@@ -15,6 +15,7 @@ from repro import (
     dscs_dsa,
     paper_design_point,
 )
+from repro.experiments import REGISTRY, load_all
 from repro.models.zoo import resnet50
 
 
@@ -54,6 +55,22 @@ def main() -> None:
     # --- 3. p95 over many requests (the paper's methodology) -------------
     samples = dscs_model.sample_latencies(app, rng, 10_000)
     print(f"\nDSCS p95 over 10,000 requests: {np.percentile(samples, 95) * 1e3:.1f} ms")
+
+    # --- 4. The experiment registry: one declarative entry point ---------
+    # Every figure/table registers an ExperimentSpec; REGISTRY.run
+    # resolves its params (here the 'fast' fidelity profile), reuses the
+    # shared suite context, and returns rows + provenance.  The same runs
+    # are available from the shell: python -m repro.cli run fig09 --fast
+    load_all()
+    result = REGISTRY.run("fig09", profile="fast")
+    dscs_row = next(
+        row for row in result.rows if row["platform"] == "DSCS-Serverless"
+    )
+    print(
+        f"\nfig09 via the registry ({result.provenance['wall_time_s']:.1f}s, "
+        f"profile={result.provenance['profile']}):"
+    )
+    print(f"  DSCS-Serverless geomean speedup: {dscs_row['geomean']}x")
 
 
 if __name__ == "__main__":

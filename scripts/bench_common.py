@@ -1,0 +1,108 @@
+"""Shared harness for the ``BENCH_*.json`` performance benchmarks.
+
+Every bench script (``bench_sweep.py``, ``bench_rack.py``) times an
+oracle engine against a fast engine on the same workload, verifies the
+two agree, and records one uniform JSON schema::
+
+    {
+      "benchmark":   "<name>",
+      "workload":    {...},                  # script-specific knobs/sizes
+      "machine":     {python, implementation, machine, cpu_count},
+      "engines": {
+        "fast":   {engine, wall_clock_s, per_second},
+        "oracle": {engine, wall_clock_s, per_second}   # absent with --skip
+      },
+      "speedup":           <oracle / fast>,            # absent with --skip
+      "results_identical": true,
+      "check_hash":        "sha256:..."               # digest of the fast results
+    }
+
+so future PRs can diff trajectories across benchmarks without
+per-script parsing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+def machine_info() -> Dict[str, Any]:
+    """The fields needed to interpret a wall-clock number later."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` once, returning (result, wall-clock seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def digest(*parts: Any) -> str:
+    """A stable content hash over strings / bytes / reprs.
+
+    Callers pass deterministic projections of their results (dataclass
+    reprs, ``ndarray.tobytes()``); the digest lets two BENCH records be
+    compared for *what* they computed, not just how fast.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            hasher.update(part)
+        else:
+            hasher.update(repr(part).encode())
+        hasher.update(b"\x00")
+    return f"sha256:{hasher.hexdigest()}"
+
+
+def engine_record(
+    engine: str, wall_clock_s: float, work_items: int
+) -> Dict[str, Any]:
+    """One engine's timing entry (``per_second`` = work items / wall)."""
+    return {
+        "engine": engine,
+        "wall_clock_s": round(wall_clock_s, 3),
+        "per_second": round(work_items / wall_clock_s, 2) if wall_clock_s else None,
+    }
+
+
+def build_record(
+    benchmark: str,
+    workload: Dict[str, Any],
+    fast: Dict[str, Any],
+    oracle: Optional[Dict[str, Any]] = None,
+    check_hash: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble the uniform record; speedup only when the oracle ran."""
+    record: Dict[str, Any] = {
+        "benchmark": benchmark,
+        "workload": workload,
+        "machine": machine_info(),
+        "engines": {"fast": fast},
+    }
+    if oracle is not None:
+        record["engines"]["oracle"] = oracle
+        record["speedup"] = round(
+            oracle["wall_clock_s"] / fast["wall_clock_s"], 2
+        )
+        record["results_identical"] = True
+    if check_hash is not None:
+        record["check_hash"] = check_hash
+    return record
+
+
+def write_record(path: Path, record: Dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path

@@ -10,8 +10,9 @@ instances, queue depth 10,000) through
   ``repro.cluster.fast_engine`` —
 
 checks the two produce bit-identical series (drops, latencies, queue
-depth, busy instances, RNG end state), and writes wall-clock and the
-speedup to ``BENCH_rack.json`` so future PRs can track the trajectory.
+depth, busy instances, RNG end state), and writes the shared
+``bench_common`` schema to ``BENCH_rack.json`` so future PRs can track
+the trajectory.
 
 Usage::
 
@@ -21,29 +22,33 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
 
+from bench_common import (
+    build_record,
+    digest,
+    engine_record,
+    timed,
+    write_record,
+)
+
 from repro.cluster.simulation import RackSimulation
-from repro.cluster.trace import TraceGenerator
+from repro.cluster.trace import DEFAULT_RATE_ENVELOPE, TraceGenerator
 from repro.experiments.common import BASELINE_NAME, DSCS_NAME, build_context
 
 
-def timed_study(context, trace, engine, max_instances, seed):
+def run_study(context, trace, engine, max_instances, seed):
     """Run the two-platform Fig. 13 study under one engine.
 
-    Returns the per-platform series, per-platform RNG end states (the
+    Returns the per-platform series and per-platform RNG end states (the
     engines must consume the RNG identically, not just produce the same
-    series), and the wall-clock time.
+    series).
     """
     series = {}
     rng_states = {}
-    start = time.perf_counter()
     for name in (BASELINE_NAME, DSCS_NAME):
         simulation = RackSimulation(
             context.models[name],
@@ -53,7 +58,25 @@ def timed_study(context, trace, engine, max_instances, seed):
         )
         series[name] = simulation.run(trace, engine=engine)
         rng_states[name] = repr(simulation._rng.bit_generator.state)
-    return series, rng_states, time.perf_counter() - start
+    return series, rng_states
+
+
+def series_digest(series_by_platform) -> str:
+    parts = []
+    for name in sorted(series_by_platform):
+        series = series_by_platform[name]
+        parts.extend(
+            [
+                name,
+                series.completed_latency_seconds.tobytes(),
+                series.completed_times.tobytes(),
+                series.queue_depth.tobytes(),
+                series.busy_instances.tobytes(),
+                series.dropped_requests,
+                series.total_requests,
+            ]
+        )
+    return digest(*parts)
 
 
 def main(argv=None) -> int:
@@ -85,16 +108,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     context = build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
-    envelope = None
-    if args.rate_scale != 1.0:
-        from repro.cluster.trace import DEFAULT_RATE_ENVELOPE
-
-        envelope = tuple(r * args.rate_scale for r in DEFAULT_RATE_ENVELOPE)
-    generator = (
-        TraceGenerator(context.app_names, rate_envelope=envelope)
-        if envelope
-        else TraceGenerator(context.app_names)
-    )
+    envelope = tuple(r * args.rate_scale for r in DEFAULT_RATE_ENVELOPE)
+    generator = TraceGenerator(context.app_names, rate_envelope=envelope)
     trace = generator.generate(np.random.default_rng(args.seed))
     print(
         f"fig13 at-scale study: {len(trace)} requests over "
@@ -102,42 +117,26 @@ def main(argv=None) -> int:
         f"{args.max_instances} instances"
     )
 
-    record = {
-        "benchmark": "fig13_at_scale_study",
-        "num_requests": len(trace),
-        "rate_scale": args.rate_scale,
-        "max_instances": args.max_instances,
-        "platforms": [BASELINE_NAME, DSCS_NAME],
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-
-    fast_series, fast_rng, fast_s = timed_study(
-        context, trace, "vectorized", args.max_instances, args.seed
+    work_items = 2 * len(trace)  # requests x platforms
+    (fast_series, fast_rng), fast_s = timed(
+        lambda: run_study(
+            context, trace, "vectorized", args.max_instances, args.seed
+        )
     )
-    record["vectorized"] = {
-        "engine": "numpy busy-period FCFS kernel",
-        "wall_clock_s": round(fast_s, 3),
-        "requests_per_s": round(2 * len(trace) / fast_s),
-    }
-    print(
-        f"vectorized:   {fast_s:8.2f}s  "
-        f"({2 * len(trace) / fast_s:9.0f} req/s)"
-    )
+    fast = engine_record("numpy busy-period FCFS kernel", fast_s, work_items)
+    print(f"vectorized:   {fast_s:8.2f}s  ({work_items / fast_s:9.0f} req/s)")
 
+    oracle = None
     if not args.skip_event:
-        event_series, event_rng, event_s = timed_study(
-            context, trace, "event", args.max_instances, args.seed
+        (event_series, event_rng), event_s = timed(
+            lambda: run_study(
+                context, trace, "event", args.max_instances, args.seed
+            )
         )
-        record["event"] = {
-            "engine": "event-driven oracle (seed path)",
-            "wall_clock_s": round(event_s, 3),
-            "requests_per_s": round(2 * len(trace) / event_s),
-        }
-        print(
-            f"event-driven: {event_s:8.2f}s  "
-            f"({2 * len(trace) / event_s:9.0f} req/s)"
+        oracle = engine_record(
+            "event-driven oracle (seed path)", event_s, work_items
         )
+        print(f"event-driven: {event_s:8.2f}s  ({work_items / event_s:9.0f} req/s)")
 
         identical = all(
             event_series[name].identical_to(fast_series[name])
@@ -146,15 +145,28 @@ def main(argv=None) -> int:
         if not identical:
             print("ERROR: engines disagree — not recording", file=sys.stderr)
             return 1
-        record["results_identical"] = True
-        record["speedup"] = round(event_s / fast_s, 2)
-        record["dropped_requests"] = {
-            name: series.dropped_requests
-            for name, series in event_series.items()
-        }
-        print(f"speedup: {record['speedup']}x (results bit-identical)")
+        print(
+            f"speedup: {round(event_s / fast_s, 2)}x (results bit-identical)"
+        )
 
-    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    record = build_record(
+        benchmark="fig13_at_scale_study",
+        workload={
+            "num_requests": len(trace),
+            "rate_scale": args.rate_scale,
+            "max_instances": args.max_instances,
+            "platforms": [BASELINE_NAME, DSCS_NAME],
+        },
+        fast=fast,
+        oracle=oracle,
+        check_hash=series_digest(fast_series),
+    )
+    if oracle is not None:
+        record["workload"]["dropped_requests"] = {
+            name: series.dropped_requests
+            for name, series in fast_series.items()
+        }
+    write_record(args.output, record)
     print(f"wrote {args.output}")
     return 0
 

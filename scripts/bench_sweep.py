@@ -8,9 +8,9 @@ the full >650-point space with ``--full``) through
 - the **fast** path — cross-sweep program cache + vectorized packed
   engine, optionally with a process pool (``--workers N``) —
 
-checks the two produce identical results, and writes wall-clock,
-configs/sec, and the speedup to ``BENCH_sweep.json`` so future PRs can
-track the perf trajectory.
+checks the two produce identical results, and writes the shared
+``bench_common`` schema to ``BENCH_sweep.json`` so future PRs can track
+the perf trajectory.
 
 Usage::
 
@@ -20,21 +20,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
-import time
 from pathlib import Path
+
+from bench_common import (
+    build_record,
+    digest,
+    engine_record,
+    timed,
+    write_record,
+)
 
 from repro.dse.explorer import DSEExplorer
 from repro.dse.space import design_space
-
-
-def timed_sweep(explorer: DSEExplorer, configs, workers=None):
-    start = time.perf_counter()
-    results = explorer.sweep(configs, workers=workers)
-    elapsed = time.perf_counter() - start
-    return results, elapsed
 
 
 def main(argv=None) -> int:
@@ -70,50 +68,47 @@ def main(argv=None) -> int:
         f"({'full' if args.full else 'fig07 square-only'} space)"
     )
 
-    record = {
-        "benchmark": "fig07_dse_sweep",
-        "space": "full" if args.full else "square_only",
-        "num_configs": len(configs),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-
     fast_explorer = DSEExplorer()
-    fast_results, fast_s = timed_sweep(
-        fast_explorer, configs, workers=args.workers
+    fast_results, fast_s = timed(
+        lambda: fast_explorer.sweep(configs, workers=args.workers)
     )
-    record["fast"] = {
-        "engine": "packed + program cache"
+    fast = engine_record(
+        "packed + program cache"
         + (f" + {args.workers} workers" if args.workers else ""),
-        "wall_clock_s": round(fast_s, 3),
-        "configs_per_s": round(len(configs) / fast_s, 2),
-    }
-    print(
-        f"fast path:   {fast_s:8.2f}s  "
-        f"({len(configs) / fast_s:6.1f} configs/s)"
+        fast_s,
+        len(configs),
     )
+    print(f"fast path:   {fast_s:8.2f}s  ({len(configs) / fast_s:6.1f} configs/s)")
 
+    oracle = None
     if not args.skip_scalar:
         scalar_explorer = DSEExplorer(engine="scalar", cache_programs=False)
-        scalar_results, scalar_s = timed_sweep(scalar_explorer, configs)
-        record["scalar"] = {
-            "engine": "scalar interpreter, cold compiles (seed path)",
-            "wall_clock_s": round(scalar_s, 3),
-            "configs_per_s": round(len(configs) / scalar_s, 2),
-        }
+        scalar_results, scalar_s = timed(
+            lambda: scalar_explorer.sweep(configs)
+        )
+        oracle = engine_record(
+            "scalar interpreter, cold compiles (seed path)", scalar_s, len(configs)
+        )
         print(
             f"scalar path: {scalar_s:8.2f}s  "
             f"({len(configs) / scalar_s:6.1f} configs/s)"
         )
-
         if scalar_results != fast_results:
             print("ERROR: engines disagree — not recording", file=sys.stderr)
             return 1
-        record["results_identical"] = True
-        record["speedup"] = round(scalar_s / fast_s, 2)
-        print(f"speedup: {record['speedup']}x (results bit-identical)")
+        print(f"speedup: {round(scalar_s / fast_s, 2)}x (results identical)")
 
-    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    record = build_record(
+        benchmark="fig07_dse_sweep",
+        workload={
+            "space": "full" if args.full else "square_only",
+            "num_configs": len(configs),
+        },
+        fast=fast,
+        oracle=oracle,
+        check_hash=digest(fast_results),
+    )
+    write_record(args.output, record)
     print(f"wrote {args.output}")
     return 0
 

@@ -1,204 +1,170 @@
 """Command-line interface: regenerate any experiment from the shell.
 
-Usage::
+Every subcommand is auto-generated from the experiment registry: each
+registered :class:`~repro.experiments.registry.ExperimentSpec` becomes a
+subcommand whose flags mirror its parameter schema, plus ``--fast`` /
+``--paper`` fidelity-profile selectors and ``--json`` / ``--csv`` output
+targets.  Usage::
 
     python -m repro.cli list
-    python -m repro.cli fig09 --samples 10000
-    python -m repro.cli fig12 --json results/fig12.json
-    python -m repro.cli table1
+    python -m repro.cli run fig13 --fast
+    python -m repro.cli fig09 --samples 10000 --json results/fig09.json
+    python -m repro.cli fig15-rack --fast --csv results/fig15_rack.csv
     python -m repro.cli dse --full
 
-Each command prints the figure's rows and optionally writes JSON/CSV.
+``run <name>`` and the bare ``<name>`` subcommand are equivalent.  JSON
+output is the registry's result document (rows + params + provenance);
+CSV output is the flat row table.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
+from repro.errors import ConfigurationError
 from repro.experiments import report
+from repro.experiments.registry import REGISTRY, ExperimentSpec, Param, load_all
 
 
-def _emit(rows, args) -> None:
-    print(report.to_markdown(rows))
-    if args.json:
-        path = report.write_json(rows, args.json)
-        print(f"wrote {path}")
-    if args.csv:
-        path = report.write_csv(rows, args.csv)
-        print(f"wrote {path}")
+def _argparse_type(param: Param):
+    """Adapt Param.parse to argparse's error protocol.
+
+    argparse only turns ValueError/TypeError into usage errors;
+    ConfigurationError (e.g. an empty sequence value) would escape as a
+    raw traceback otherwise.
+    """
+
+    def parse(text: str):
+        try:
+            return param.parse(text)
+        except ConfigurationError as error:
+            raise argparse.ArgumentTypeError(str(error)) from error
+
+    parse.__name__ = param.kind
+    return parse
 
 
-def _cmd_table1(args) -> None:
-    from repro.experiments.tables import table1_rows
-
-    _emit(table1_rows(), args)
-
-
-def _cmd_table2(args) -> None:
-    from repro.experiments.tables import table2_rows
-
-    _emit(table2_rows(), args)
-
-
-def _cmd_fig03(args) -> None:
-    from repro.experiments import fig03
-
-    results = fig03.run(samples=args.samples)
-    rows = [
-        {
-            "benchmark": r.benchmark,
-            "median_ms": round(r.median * 1e3, 2),
-            "p99_ms": round(r.p99 * 1e3, 2),
-            "tail_ratio": round(r.tail_ratio, 2),
-        }
-        for r in results.values()
-    ]
-    _emit(rows, args)
-
-
-def _cmd_fig04(args) -> None:
-    from repro.experiments import fig04
-
-    shares = fig04.run()
-    rows = [
-        {
-            "benchmark": r.benchmark,
-            "total_ms": round(r.total_seconds * 1e3, 1),
-            "communication": round(r.communication, 3),
-            "compute": round(r.compute, 3),
-            "system_stack": round(r.system_stack, 3),
-        }
-        for r in shares.values()
-    ]
-    _emit(rows, args)
+def _add_param_argument(command: argparse.ArgumentParser, param: Param) -> None:
+    flag = "--" + param.name.replace("_", "-")
+    if param.kind == "bool":
+        command.add_argument(
+            flag,
+            action=argparse.BooleanOptionalAction,
+            default=param.default,
+            help=param.help or None,
+        )
+        return
+    metavar = {
+        "int": "N",
+        "float": "X",
+        "str": "S",
+        "ints": "N,N,...",
+        "floats": "X,X,...",
+        "strs": "S,S,...",
+    }[param.kind]
+    command.add_argument(
+        flag,
+        type=_argparse_type(param),
+        default=None,
+        metavar=metavar,
+        help=f"{param.help or param.name} (default: {param.default})",
+    )
 
 
-def _cmd_fig09(args) -> None:
-    from repro.experiments import fig09
-
-    study = fig09.run(count=args.samples)
-    rows = report.speedup_rows(study.speedups)
-    for row in rows:
-        platform = str(row["platform"])
-        row["geomean"] = round(study.geomean(platform), 3)
-    _emit(rows, args)
-
-
-def _cmd_fig11(args) -> None:
-    from repro.experiments import fig11
-
-    study = fig11.run()
-    rows = report.speedup_rows(study.reductions)
-    for row in rows:
-        row["geomean"] = round(study.geomean(str(row["platform"])), 3)
-    _emit(rows, args)
-
-
-def _cmd_fig12(args) -> None:
-    from repro.experiments import fig12
-
-    study = fig12.run(count=args.samples)
-    rows = [
-        {
-            "platform": platform,
-            "throughput_rps": round(study.throughput_rps[platform], 3),
-            "total_cost_usd": round(study.total_cost_usd[platform], 0),
-            "normalized": round(study.normalized[platform], 3),
-        }
-        for platform in study.normalized
-    ]
-    _emit(rows, args)
-
-
-def _cmd_fig14(args) -> None:
-    from repro.experiments import fig14
-
-    study = fig14.run(count=args.samples)
-    rows = [
-        {"batch": batch, "geomean_speedup": round(study.geomean(batch), 3)}
-        for batch in study.batches
-    ]
-    _emit(rows, args)
-
-
-def _cmd_fig17(args) -> None:
-    from repro.experiments import fig17
-
-    study = fig17.run(count=args.samples)
-    rows = [
-        {
-            "benchmark": name,
-            "warm": round(study.warm_speedups[name], 3),
-            "cold": round(study.cold_speedups[name], 3),
-        }
-        for name in study.warm_speedups
-    ]
-    _emit(rows, args)
-
-
-def _cmd_dse(args) -> None:
-    from repro.experiments import fig07
-
-    study = fig07.run(square_only=not args.full)
-    rows = [
-        {
-            "config": r.label,
-            "fps": round(r.throughput_fps, 2),
-            "dynamic_power_w": round(r.dynamic_power_watts, 3),
-            "area_mm2": round(r.area_mm2, 2),
-            "feasible": r.feasible,
-            "on_frontier": r.label in study.frontier_labels(),
-        }
-        for r in study.results
-    ]
-    print(f"best feasible point: {study.best_feasible.label}")
-    _emit(rows, args)
-
-
-_COMMANDS: Dict[str, Callable] = {
-    "table1": _cmd_table1,
-    "table2": _cmd_table2,
-    "fig03": _cmd_fig03,
-    "fig04": _cmd_fig04,
-    "fig09": _cmd_fig09,
-    "fig11": _cmd_fig11,
-    "fig12": _cmd_fig12,
-    "fig14": _cmd_fig14,
-    "fig17": _cmd_fig17,
-    "dse": _cmd_dse,
-}
+def _add_spec_parser(subparsers, spec: ExperimentSpec) -> None:
+    command = subparsers.add_parser(spec.name, help=spec.description)
+    command.set_defaults(experiment=spec.name)
+    fidelity = command.add_mutually_exclusive_group()
+    fidelity.add_argument(
+        "--fast",
+        action="store_const",
+        const="fast",
+        dest="profile",
+        help="seconds-scale smoke fidelity profile",
+    )
+    fidelity.add_argument(
+        "--paper",
+        action="store_const",
+        const="paper",
+        dest="profile",
+        help="publication-scale fidelity profile",
+    )
+    for param in spec.cli_params():
+        _add_param_argument(command, param)
+    command.add_argument(
+        "--json", type=str, default=None, help="write the result document here"
+    )
+    command.add_argument(
+        "--csv", type=str, default=None, help="write the row table here"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
+    load_all()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate DSCS-Serverless (ASPLOS'24) experiments.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiment commands")
-    for name in _COMMANDS:
-        cmd = sub.add_parser(name, help=f"regenerate {name}")
-        cmd.add_argument("--samples", type=int, default=2000,
-                         help="Monte-Carlo samples (paper: 10000)")
-        cmd.add_argument("--json", type=str, default=None,
-                         help="write rows to this JSON file")
-        cmd.add_argument("--csv", type=str, default=None,
-                         help="write rows to this CSV file")
-        if name == "dse":
-            cmd.add_argument("--full", action="store_true",
-                             help="sweep the full >650-point space")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    list_parser = subparsers.add_parser(
+        "list", help="list every registered experiment"
+    )
+    list_parser.add_argument(
+        "--tag", type=str, default=None, help="only experiments with this tag"
+    )
+    run_parser = subparsers.add_parser(
+        "run", help="run a registered experiment by name"
+    )
+    run_subparsers = run_parser.add_subparsers(dest="experiment", required=True)
+    for spec in REGISTRY.specs():
+        _add_spec_parser(subparsers, spec)
+        _add_spec_parser(run_subparsers, spec)
     return parser
+
+
+def _cli_overrides(spec: ExperimentSpec, args: argparse.Namespace) -> dict:
+    """Explicitly passed flags only, so profiles fill the rest."""
+    overrides = {}
+    for param in spec.cli_params():
+        value = getattr(args, param.name)
+        if param.kind == "bool":
+            # Booleans carry their real default (``dse --full`` must
+            # parse to False when omitted); only a changed value counts
+            # as an explicit override.
+            if value != param.default:
+                overrides[param.name] = value
+        elif value is not None:
+            overrides[param.name] = value
+    return overrides
+
+
+def _print_listing(tag: Optional[str]) -> None:
+    specs = REGISTRY.by_tag(tag) if tag else REGISTRY.specs()
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        print(f"{spec.name:12s} [{tags}] {spec.description}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        for name in _COMMANDS:
-            print(name)
+        _print_listing(args.tag)
         return 0
-    _COMMANDS[args.command](args)
+    spec = REGISTRY.get(args.experiment)
+    result = REGISTRY.run(
+        spec.name, profile=args.profile, **_cli_overrides(spec, args)
+    )
+    if spec.headline is not None:
+        note = spec.headline(result.study)
+        if note:
+            print(note)
+    print(report.to_markdown(result.rows))
+    if args.json:
+        print(f"wrote {result.write_json(args.json)}")
+    if args.csv:
+        print(f"wrote {report.write_csv(result.rows, args.csv)}")
     return 0
 
 

@@ -120,6 +120,29 @@ class ScenarioResult:
             "wall_clock_s": round(self.series.wall_clock_seconds, 3),
         }
 
+    def as_row(self) -> Dict[str, object]:
+        """Structured record: scenario knobs as columns, then metrics.
+
+        Unlike :meth:`summary` (which folds the scenario into one label
+        string), this keeps each grid axis queryable — the form the
+        experiment registry serialises.
+        """
+        scenario = self.scenario
+        return {
+            "platform": scenario.platform,
+            "rate_scale": scenario.rate_scale,
+            "max_instances": scenario.max_instances,
+            "policy": scenario.policy,
+            "cold": scenario.cold,
+            "requests": self.series.total_requests,
+            "mean_latency_s": round(self.mean_latency_seconds, 6),
+            "p95_latency_s": round(self.p95_latency_seconds, 6),
+            "p99_latency_s": round(self.p99_latency_seconds, 6),
+            "peak_queue": self.peak_queue_depth,
+            "dropped": self.dropped_requests,
+            "wall_clock_s": round(self.series.wall_clock_seconds, 3),
+        }
+
 
 def scenario_grid(
     platforms: Sequence[str],

@@ -72,6 +72,18 @@ class ServerlessExecutionModel:
         if self.stack_seconds_per_function < 0:
             raise ConfigurationError("negative system-stack overhead")
 
+    def with_fabric(self, fabric: StorageFabric) -> "ServerlessExecutionModel":
+        """A copy of this model reading/writing through ``fabric``.
+
+        The platform object (and with it any programs compiled through
+        the process-wide cache), host CPU, driver, and cold-start models
+        are shared, so fabric sweeps (Fig. 15's tail ratios) swap the
+        data path without rebuilding the compute side.
+        """
+        import dataclasses
+
+        return dataclasses.replace(self, fabric=fabric)
+
     # ------------------------------------------------------------------
     def _runs_on_platform(self, function: ServerlessFunction) -> bool:
         """Model functions run on the evaluated platform; others on CPU."""

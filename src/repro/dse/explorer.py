@@ -62,6 +62,17 @@ class DesignPointResult:
     def label(self) -> str:
         return self.config.label
 
+    def as_row(self) -> Dict[str, object]:
+        """Flat record for result tables (Figs. 7/8 CLI/JSON output)."""
+        return {
+            "config": self.label,
+            "fps": round(self.throughput_fps, 2),
+            "dynamic_power_w": round(self.dynamic_power_watts, 3),
+            "total_power_w": round(self.total_power_watts, 3),
+            "area_mm2": round(self.area_mm2, 2),
+            "feasible": self.feasible,
+        }
+
 
 class DSEExplorer:
     """Runs the §4.2 exploration over a set of candidate configs."""

@@ -2,7 +2,16 @@
 
 Each ``figNN`` module regenerates the rows/series of one figure from the
 paper's evaluation (§6.2); :mod:`~repro.experiments.benchmarks` defines the
-eight-application suite every figure runs over.
+eight-application suite every figure runs over.  Every harness registers
+an :class:`~repro.experiments.registry.ExperimentSpec` into the shared
+:data:`~repro.experiments.registry.REGISTRY`, which is what the CLI and
+programmatic callers drive::
+
+    from repro.experiments import REGISTRY, load_all
+
+    load_all()
+    result = REGISTRY.run("fig13", profile="fast")
+    print(result.to_markdown())
 """
 
 from repro.experiments.benchmarks import (
@@ -11,10 +20,24 @@ from repro.experiments.benchmarks import (
     benchmark_suite,
     build_application,
 )
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentRegistry,
+    ExperimentSpec,
+    Param,
+    load_all,
+)
+from repro.experiments.results import ExperimentResult
 
 __all__ = [
     "BENCHMARKS",
     "BenchmarkSpec",
+    "ExperimentRegistry",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Param",
+    "REGISTRY",
     "benchmark_suite",
     "build_application",
+    "load_all",
 ]

@@ -38,6 +38,31 @@ class SuiteContext:
     def platform_names(self) -> List[str]:
         return list(self.models)
 
+    def with_fabric(self, fabric: StorageFabric) -> "SuiteContext":
+        """This context with every model's storage fabric swapped.
+
+        Applications and platform objects (hence compiled programs) are
+        shared with the original context — only the data-path model
+        changes, which is what fabric sweeps like Fig. 15 vary.
+        """
+        return SuiteContext(
+            applications=self.applications,
+            models={
+                name: model.with_fabric(fabric)
+                for name, model in self.models.items()
+            },
+        )
+
+
+def fabric_fingerprint(fabric: StorageFabric) -> str:
+    """A value-based cache key for a fabric configuration.
+
+    Every component of :class:`~repro.core.fabric.StorageFabric` is a
+    dataclass whose repr lists its field values, so two independently
+    constructed but identical fabrics fingerprint identically.
+    """
+    return repr(fabric)
+
 
 def build_context(
     platform_names: Optional[Sequence[str]] = None,

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.fabric import StorageFabric
 from repro.experiments.benchmarks import benchmark_suite
+from repro.experiments.registry import REGISTRY, Param
 from repro.sim.stats import cdf_points
 
 
@@ -33,10 +34,18 @@ class ReadLatencyCDF:
         return self.p99 / self.median
 
 
-def run(
-    samples: int = 10_000, seed: int = 11, fabric: StorageFabric = None
-) -> Dict[str, ReadLatencyCDF]:
-    """Regenerate Fig. 3's per-benchmark read-latency CDFs."""
+@REGISTRY.experiment(
+    name="fig03",
+    description="Fig. 3: remote-read latency CDFs (median / p99 / tail ratio)",
+    params=(
+        Param("samples", "int", 10_000, "remote reads per benchmark"),
+        Param("seed", "int", 11, "RNG seed"),
+        Param("fabric", "object", None, cli=False),
+    ),
+    profiles={"fast": {"samples": 500}, "paper": {"samples": 10_000}},
+    tags=("figure", "storage"),
+)
+def _experiment(ctx, samples, seed, fabric=None):
     fabric = fabric or StorageFabric()
     rng = np.random.default_rng(seed)
     results: Dict[str, ReadLatencyCDF] = {}
@@ -50,7 +59,23 @@ def run(
             median=float(np.percentile(draws, 50)),
             p99=float(np.percentile(draws, 99)),
         )
-    return results
+    rows = [
+        {
+            "benchmark": r.benchmark,
+            "median_ms": round(r.median * 1e3, 2),
+            "p99_ms": round(r.p99 * 1e3, 2),
+            "tail_ratio": round(r.tail_ratio, 2),
+        }
+        for r in results.values()
+    ]
+    return rows, results
+
+
+def run(
+    samples: int = 10_000, seed: int = 11, fabric: StorageFabric = None
+) -> Dict[str, ReadLatencyCDF]:
+    """Regenerate Fig. 3's per-benchmark read-latency CDFs."""
+    return REGISTRY.run("fig03", samples=samples, seed=seed, fabric=fabric).study
 
 
 def average_tail_ratio(results: Dict[str, ReadLatencyCDF]) -> float:

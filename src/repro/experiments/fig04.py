@@ -18,6 +18,7 @@ from repro.core.breakdown import Component
 from repro.core.fabric import StorageFabric
 from repro.core.model import ServerlessExecutionModel
 from repro.experiments.benchmarks import benchmark_suite
+from repro.experiments.registry import REGISTRY, Param
 from repro.platforms.registry import baseline_cpu
 
 
@@ -37,8 +38,17 @@ class BreakdownShares:
         return 1.0 / (1.0 - self.compute)
 
 
-def run(seed: int = 5, averages_of: int = 32) -> Dict[str, BreakdownShares]:
-    """Regenerate Fig. 4 (averaging the sampled remote-path tails)."""
+@REGISTRY.experiment(
+    name="fig04",
+    description="Fig. 4: baseline runtime breakdown and the Amdahl cap",
+    params=(
+        Param("seed", "int", 5, "RNG seed"),
+        Param("averages_of", "int", 32, "invocations averaged per benchmark"),
+    ),
+    profiles={"fast": {"averages_of": 8}, "paper": {"averages_of": 32}},
+    tags=("figure", "breakdown"),
+)
+def _experiment(ctx, seed, averages_of):
     model = ServerlessExecutionModel(platform=baseline_cpu(), fabric=StorageFabric())
     rng = np.random.default_rng(seed)
     results: Dict[str, BreakdownShares] = {}
@@ -63,7 +73,22 @@ def run(seed: int = 5, averages_of: int = 32) -> Dict[str, BreakdownShares]:
             communication=float(communication),
             system_stack=float(stack),
         )
-    return results
+    rows = [
+        {
+            "benchmark": r.benchmark,
+            "total_ms": round(r.total_seconds * 1e3, 1),
+            "communication": round(r.communication, 3),
+            "compute": round(r.compute, 3),
+            "system_stack": round(r.system_stack, 3),
+        }
+        for r in results.values()
+    ]
+    return rows, results
+
+
+def run(seed: int = 5, averages_of: int = 32) -> Dict[str, BreakdownShares]:
+    """Regenerate Fig. 4 (averaging the sampled remote-path tails)."""
+    return REGISTRY.run("fig04", seed=seed, averages_of=averages_of).study
 
 
 def average_communication_share(results: Dict[str, BreakdownShares]) -> float:

@@ -10,8 +10,35 @@ from typing import Optional, Sequence
 
 from repro.accelerator.config import DSAConfig
 from repro.dse.explorer import DSEExplorer
-from repro.dse.space import design_space
-from repro.experiments.fig07 import ParetoStudy
+from repro.experiments.fig07 import (
+    ParetoStudy,
+    _SWEEP_PARAMS,
+    _SWEEP_PROFILES,
+    _best_feasible_headline,
+    pareto_rows,
+    sweep_study,
+)
+from repro.experiments.registry import REGISTRY
+
+
+@REGISTRY.experiment(
+    name="fig08",
+    description="Fig. 8: area-performance Pareto frontier of the DSA space",
+    params=_SWEEP_PARAMS,
+    profiles=_SWEEP_PROFILES,
+    tags=("figure", "dse"),
+    headline=_best_feasible_headline,
+)
+def _experiment(ctx, space, max_configs, workers=None, configs=None, explorer=None):
+    study = sweep_study(
+        space=space,
+        max_configs=max_configs,
+        frontier="area",
+        configs=configs,
+        explorer=explorer,
+        workers=workers,
+    )
+    return pareto_rows(study), study
 
 
 def run(
@@ -25,9 +52,10 @@ def run(
     ``workers`` > 1 fans the sweep over a process pool, exactly as in
     :func:`repro.experiments.fig07.run`.
     """
-    explorer = explorer or DSEExplorer()
-    candidates = list(configs) if configs else design_space(square_only=square_only)
-    results = explorer.sweep(candidates, workers=workers)
-    frontier = explorer.area_pareto(results)
-    best = explorer.best_feasible(results)
-    return ParetoStudy(results=results, frontier=frontier, best_feasible=best)
+    return REGISTRY.run(
+        "fig08",
+        space="square" if square_only else "full",
+        configs=configs,
+        explorer=explorer,
+        workers=workers,
+    ).study

@@ -14,11 +14,12 @@ from typing import Dict
 from repro.experiments.common import (
     FAST_SAMPLE_COUNT,
     SuiteContext,
-    build_context,
     geomean_speedup,
     p95_latency_table,
     speedups_vs_baseline,
 )
+from repro.experiments.registry import REGISTRY, Param
+from repro.experiments import report
 
 
 @dataclass
@@ -41,14 +42,33 @@ class SpeedupStudy:
         return geomean_speedup(ratios)
 
 
+@REGISTRY.experiment(
+    name="fig09",
+    description="Fig. 9: normalized end-to-end speedup across all platforms",
+    params=(
+        Param("samples", "int", FAST_SAMPLE_COUNT, "requests per measurement"),
+        Param("seed", "int", 7, "RNG seed"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={"fast": {"samples": 300}, "paper": {"samples": 10_000}},
+    tags=("figure", "speedup"),
+)
+def _experiment(ctx, samples, seed, context=None):
+    context = context or ctx.suite_context()
+    latency = p95_latency_table(context, count=samples, seed=seed)
+    study = SpeedupStudy(
+        latency_seconds=latency, speedups=speedups_vs_baseline(latency)
+    )
+    rows = report.speedup_rows(study.speedups)
+    for row in rows:
+        row["geomean"] = round(study.geomean(str(row["platform"])), 3)
+    return rows, study
+
+
 def run(
     count: int = FAST_SAMPLE_COUNT,
     seed: int = 7,
     context: SuiteContext = None,
 ) -> SpeedupStudy:
     """Regenerate Fig. 9."""
-    context = context or build_context()
-    latency = p95_latency_table(context, count=count, seed=seed)
-    return SpeedupStudy(
-        latency_seconds=latency, speedups=speedups_vs_baseline(latency)
-    )
+    return REGISTRY.run("fig09", samples=count, seed=seed, context=context).study

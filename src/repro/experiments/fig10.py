@@ -15,7 +15,8 @@ from typing import Dict
 import numpy as np
 
 from repro.core.breakdown import Component
-from repro.experiments.common import SuiteContext, build_context
+from repro.experiments.common import SuiteContext
+from repro.experiments.registry import REGISTRY, Param
 
 
 @dataclass(frozen=True)
@@ -37,11 +38,19 @@ class PlatformBreakdown:
         return self.seconds_by_component.get(component.value, 0.0) / total
 
 
-def run(
-    seed: int = 5, averages_of: int = 16, context: SuiteContext = None
-) -> Dict[str, Dict[str, PlatformBreakdown]]:
-    """Regenerate Fig. 10: ``{platform: {benchmark: breakdown}}``."""
-    context = context or build_context()
+@REGISTRY.experiment(
+    name="fig10",
+    description="Fig. 10: runtime breakdown for every platform and benchmark",
+    params=(
+        Param("seed", "int", 5, "RNG seed"),
+        Param("averages_of", "int", 16, "invocations averaged per pair"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={"fast": {"averages_of": 4}, "paper": {"averages_of": 16}},
+    tags=("figure", "breakdown"),
+)
+def _experiment(ctx, seed, averages_of, context=None):
+    context = context or ctx.suite_context()
     results: Dict[str, Dict[str, PlatformBreakdown]] = {}
     for platform_name, model in context.models.items():
         rng = np.random.default_rng(seed)
@@ -59,4 +68,31 @@ def run(
                 seconds_by_component=averaged,
             )
         results[platform_name] = row
-    return results
+    rows = [
+        dict(
+            {
+                "platform": entry.platform,
+                "benchmark": entry.benchmark,
+                "total_ms": round(entry.total_seconds * 1e3, 3),
+            },
+            **{
+                f"{component.value}_ms": round(
+                    entry.seconds_by_component.get(component.value, 0.0) * 1e3,
+                    3,
+                )
+                for component in Component
+            },
+        )
+        for per_app in results.values()
+        for entry in per_app.values()
+    ]
+    return rows, results
+
+
+def run(
+    seed: int = 5, averages_of: int = 16, context: SuiteContext = None
+) -> Dict[str, Dict[str, PlatformBreakdown]]:
+    """Regenerate Fig. 10: ``{platform: {benchmark: breakdown}}``."""
+    return REGISTRY.run(
+        "fig10", seed=seed, averages_of=averages_of, context=context
+    ).study

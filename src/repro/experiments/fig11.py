@@ -17,9 +17,10 @@ import numpy as np
 from repro.experiments.common import (
     BASELINE_NAME,
     SuiteContext,
-    build_context,
     geomean_speedup,
 )
+from repro.experiments.registry import REGISTRY, Param
+from repro.experiments import report
 
 
 @dataclass
@@ -41,11 +42,19 @@ class EnergyStudy:
         return geomean_speedup(ratios)
 
 
-def run(
-    seed: int = 5, averages_of: int = 16, context: SuiteContext = None
-) -> EnergyStudy:
-    """Regenerate Fig. 11."""
-    context = context or build_context()
+@REGISTRY.experiment(
+    name="fig11",
+    description="Fig. 11: normalized system-energy reduction",
+    params=(
+        Param("seed", "int", 5, "RNG seed"),
+        Param("averages_of", "int", 16, "invocations averaged per pair"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={"fast": {"averages_of": 4}, "paper": {"averages_of": 16}},
+    tags=("figure", "energy"),
+)
+def _experiment(ctx, seed, averages_of, context=None):
+    context = context or ctx.suite_context()
     energy: Dict[str, Dict[str, float]] = {}
     for platform_name, model in context.models.items():
         rng = np.random.default_rng(seed)
@@ -61,4 +70,17 @@ def run(
         platform: {app: base[app] / row[app] for app in row}
         for platform, row in energy.items()
     }
-    return EnergyStudy(energy_joules=energy, reductions=reductions)
+    study = EnergyStudy(energy_joules=energy, reductions=reductions)
+    rows = report.speedup_rows(study.reductions)
+    for row in rows:
+        row["geomean"] = round(study.geomean(str(row["platform"])), 3)
+    return rows, study
+
+
+def run(
+    seed: int = 5, averages_of: int = 16, context: SuiteContext = None
+) -> EnergyStudy:
+    """Regenerate Fig. 11."""
+    return REGISTRY.run(
+        "fig11", seed=seed, averages_of=averages_of, context=context
+    ).study

@@ -18,9 +18,9 @@ from repro.experiments.common import (
     BASELINE_NAME,
     FAST_SAMPLE_COUNT,
     SuiteContext,
-    build_context,
     p95_latency_table,
 )
+from repro.experiments.registry import REGISTRY, Param
 
 
 @dataclass
@@ -33,21 +33,22 @@ class CostStudy:
     total_cost_usd: Dict[str, float]
 
 
-def run(
-    count: int = FAST_SAMPLE_COUNT,
-    seed: int = 7,
-    context: SuiteContext = None,
-    cost_model: CostModel = None,
-) -> CostStudy:
-    """Regenerate Fig. 12.
-
-    Throughput per platform is the average peak request rate across the
-    suite (reciprocal of mean p95 latency), matching the paper's
-    "average peak throughput" framing.
-    """
-    context = context or build_context()
+@REGISTRY.experiment(
+    name="fig12",
+    description="Fig. 12: normalized cost efficiency (E3 methodology)",
+    params=(
+        Param("samples", "int", FAST_SAMPLE_COUNT, "requests per measurement"),
+        Param("seed", "int", 7, "RNG seed"),
+        Param("context", "object", None, cli=False),
+        Param("cost_model", "object", None, cli=False),
+    ),
+    profiles={"fast": {"samples": 300}, "paper": {"samples": 10_000}},
+    tags=("figure", "cost"),
+)
+def _experiment(ctx, samples, seed, context=None, cost_model=None):
+    context = context or ctx.suite_context()
     cost_model = cost_model or CostModel()
-    latency = p95_latency_table(context, count=count, seed=seed)
+    latency = p95_latency_table(context, count=samples, seed=seed)
 
     efficiency: Dict[str, float] = {}
     throughput: Dict[str, float] = {}
@@ -62,9 +63,36 @@ def run(
 
     base = efficiency[BASELINE_NAME]
     normalized = {name: value / base for name, value in efficiency.items()}
-    return CostStudy(
+    study = CostStudy(
         cost_efficiency=efficiency,
         normalized=normalized,
         throughput_rps=throughput,
         total_cost_usd=total_cost,
     )
+    rows = [
+        {
+            "platform": platform,
+            "throughput_rps": round(study.throughput_rps[platform], 3),
+            "total_cost_usd": round(study.total_cost_usd[platform], 0),
+            "normalized": round(study.normalized[platform], 3),
+        }
+        for platform in study.normalized
+    ]
+    return rows, study
+
+
+def run(
+    count: int = FAST_SAMPLE_COUNT,
+    seed: int = 7,
+    context: SuiteContext = None,
+    cost_model: CostModel = None,
+) -> CostStudy:
+    """Regenerate Fig. 12.
+
+    Throughput per platform is the average peak request rate across the
+    suite (reciprocal of mean p95 latency), matching the paper's
+    "average peak throughput" framing.
+    """
+    return REGISTRY.run(
+        "fig12", samples=count, seed=seed, context=context, cost_model=cost_model
+    ).study

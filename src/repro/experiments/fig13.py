@@ -25,8 +25,25 @@ from repro.experiments.common import (
     BASELINE_NAME,
     DSCS_NAME,
     SuiteContext,
-    build_context,
 )
+from repro.experiments.registry import REGISTRY, Param
+
+
+def series_row(platform: str, series: SimulationSeries) -> dict:
+    """Flat per-platform record of one simulation's headline metrics."""
+    latencies = series.completed_latency_seconds
+    p95 = float(np.percentile(latencies, 95)) if len(latencies) else float("nan")
+    p99 = float(np.percentile(latencies, 99)) if len(latencies) else float("nan")
+    return {
+        "platform": platform,
+        "requests": series.total_requests,
+        "mean_latency_s": round(series.mean_latency_seconds, 6),
+        "p95_latency_s": round(p95, 6),
+        "p99_latency_s": round(p99, 6),
+        "peak_queue": int(series.queue_depth.max()) if len(series.queue_depth) else 0,
+        "dropped": series.dropped_requests,
+        "wall_clock_s": round(series.wall_clock_seconds, 3),
+    }
 
 
 @dataclass
@@ -53,17 +70,44 @@ class AtScaleStudy:
         return self.baseline.wall_clock_seconds / self.dscs.wall_clock_seconds
 
 
-def run(
-    max_instances: int = 200,
-    seed: int = 13,
-    context: SuiteContext = None,
-    rate_scale: float = 1.0,
-    engine: str = "auto",
-) -> AtScaleStudy:
-    """Regenerate Fig. 13 end to end."""
-    context = context or build_context(
-        platform_names=[BASELINE_NAME, DSCS_NAME]
+@REGISTRY.experiment(
+    name="fig13",
+    description="Fig. 13: at-scale behaviour under a bursty 20-minute trace",
+    params=(
+        Param("max_instances", "int", 200, "fleet size per platform"),
+        Param("seed", "int", 13, "trace + service RNG seed"),
+        Param("rate_scale", "float", 1.0, "scale on the request-rate envelope"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={
+        "fast": {"rate_scale": 0.05, "max_instances": 20},
+        "paper": {"rate_scale": 1.0, "max_instances": 200},
+    },
+    tags=("figure", "rack"),
+)
+def _experiment(ctx, max_instances, seed, rate_scale, engine, context=None):
+    study = _at_scale_study(
+        max_instances=max_instances,
+        seed=seed,
+        context=context or ctx.suite_context([BASELINE_NAME, DSCS_NAME]),
+        rate_scale=rate_scale,
+        engine=engine,
     )
+    rows = [
+        series_row(BASELINE_NAME, study.baseline),
+        series_row(DSCS_NAME, study.dscs),
+    ]
+    return rows, study
+
+
+def _at_scale_study(
+    max_instances: int,
+    seed: int,
+    context: SuiteContext,
+    rate_scale: float,
+    engine: str,
+) -> AtScaleStudy:
     app_names = context.app_names
     from repro.cluster.trace import DEFAULT_RATE_ENVELOPE
 
@@ -90,6 +134,57 @@ def run(
     )
 
 
+def run(
+    max_instances: int = 200,
+    seed: int = 13,
+    context: SuiteContext = None,
+    rate_scale: float = 1.0,
+    engine: str = "auto",
+) -> AtScaleStudy:
+    """Regenerate Fig. 13 end to end."""
+    return REGISTRY.run(
+        "fig13",
+        max_instances=max_instances,
+        seed=seed,
+        context=context,
+        rate_scale=rate_scale,
+        engine=engine,
+    ).study
+
+
+@REGISTRY.experiment(
+    name="fig13-sweep",
+    description="Fig. 13 as a rate x fleet x policy scenario grid",
+    params=(
+        Param("rate_scales", "floats", (0.5, 1.0), "rate-envelope scales"),
+        Param("max_instances", "ints", (100, 200), "fleet sizes"),
+        Param("policies", "strs", ("fcfs",), "scheduling policies"),
+        Param("seed", "int", 13, "trace + service RNG seed"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={
+        "fast": {"rate_scales": (0.05,), "max_instances": (20,)},
+        "paper": {"rate_scales": (0.5, 1.0), "max_instances": (100, 200)},
+    },
+    tags=("figure", "rack", "sweep"),
+)
+def _sweep_experiment(
+    ctx, rate_scales, max_instances, policies, seed, engine, context=None
+):
+    context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
+    harness = RackSweep(context, engine=engine)
+    scenarios = scenario_grid(
+        platforms=context.platform_names,
+        rate_scales=rate_scales,
+        max_instances=max_instances,
+        policies=policies,
+        seed=seed,
+    )
+    results = harness.run(scenarios)
+    return [cell.as_row() for cell in results], results
+
+
 def sweep(
     rate_scales: Sequence[float] = (0.5, 1.0),
     max_instances: Sequence[int] = (100, 200),
@@ -104,15 +199,12 @@ def sweep(
     and the per-platform service-sample blocks, so widening the grid
     costs simulation time only, not input regeneration.
     """
-    context = context or build_context(
-        platform_names=[BASELINE_NAME, DSCS_NAME]
-    )
-    harness = RackSweep(context, engine=engine)
-    scenarios = scenario_grid(
-        platforms=context.platform_names,
+    return REGISTRY.run(
+        "fig13-sweep",
         rate_scales=rate_scales,
         max_instances=max_instances,
         policies=policies,
         seed=seed,
-    )
-    return harness.run(scenarios)
+        context=context,
+        engine=engine,
+    ).study

@@ -16,10 +16,10 @@ from repro.experiments.common import (
     BASELINE_NAME,
     DSCS_NAME,
     SuiteContext,
-    build_context,
     geomean_speedup,
     p95_latency_table,
 )
+from repro.experiments.registry import REGISTRY, Param
 
 DEFAULT_BATCHES = (1, 2, 4, 8, 16, 32, 64)
 
@@ -38,6 +38,37 @@ class BatchStudy:
         return sorted(self.speedups)
 
 
+@REGISTRY.experiment(
+    name="fig14",
+    description="Fig. 14: sensitivity to batch size",
+    params=(
+        Param("batches", "ints", DEFAULT_BATCHES, "batch sizes to sweep"),
+        Param("samples", "int", 500, "requests per measurement"),
+        Param("seed", "int", 7, "RNG seed"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={
+        "fast": {"batches": (1, 8), "samples": 100},
+        "paper": {"batches": DEFAULT_BATCHES, "samples": 10_000},
+    },
+    tags=("figure", "sensitivity"),
+)
+def _experiment(ctx, batches, samples, seed, context=None):
+    context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
+    speedups: Dict[int, Dict[str, float]] = {}
+    for batch in batches:
+        latency = p95_latency_table(context, count=samples, seed=seed, batch=batch)
+        base = latency[BASELINE_NAME]
+        dscs = latency[DSCS_NAME]
+        speedups[batch] = {app: base[app] / dscs[app] for app in base}
+    study = BatchStudy(speedups=speedups)
+    rows = [
+        {"batch": batch, "geomean_speedup": round(study.geomean(batch), 3)}
+        for batch in study.batches
+    ]
+    return rows, study
+
+
 def run(
     batches=DEFAULT_BATCHES,
     count: int = 500,
@@ -45,11 +76,6 @@ def run(
     context: SuiteContext = None,
 ) -> BatchStudy:
     """Regenerate Fig. 14."""
-    context = context or build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
-    speedups: Dict[int, Dict[str, float]] = {}
-    for batch in batches:
-        latency = p95_latency_table(context, count=count, seed=seed, batch=batch)
-        base = latency[BASELINE_NAME]
-        dscs = latency[DSCS_NAME]
-        speedups[batch] = {app: base[app] / dscs[app] for app in base}
-    return BatchStudy(speedups=speedups)
+    return REGISTRY.run(
+        "fig14", batches=batches, samples=count, seed=seed, context=context
+    ).study

@@ -5,6 +5,12 @@ the baseline at matched percentiles.  Because DSCS removes the network
 from the accelerated functions' data path, it is robust to tails: the
 paper reports 5.0x at the 99th percentile vs 3.1x at the median.
 
+The sweep swaps only the **fabric** per ratio: the benchmark suite and
+the compiled execution models are built once and rewired with
+:meth:`~repro.experiments.common.SuiteContext.with_fabric`, so each
+additional tail ratio costs sampling time only (previously the whole
+suite context was rebuilt per ratio).
+
 :func:`run` measures isolated invocations (the paper's methodology);
 :func:`run_rack` replays the same fabric sweep through the rack
 simulator via :mod:`repro.cluster.sweep`, so the reported percentiles
@@ -21,13 +27,15 @@ from repro.core.fabric import StorageFabric
 from repro.experiments.common import (
     BASELINE_NAME,
     DSCS_NAME,
-    build_context,
     geomean_speedup,
     p95_latency_table,
 )
+from repro.experiments.registry import REGISTRY, Param
 
 DEFAULT_TAIL_RATIOS = (1.5, 2.1, 3.0, 4.0)
 DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+_PLATFORMS = (BASELINE_NAME, DSCS_NAME)
 
 
 @dataclass
@@ -40,6 +48,54 @@ class TailStudy:
         return self.speedups[(tail_ratio, percentile)]
 
 
+def _speedup_rows(speedups: Dict[Tuple[float, float], float]):
+    return [
+        {
+            "tail_ratio": ratio,
+            "percentile": percentile,
+            "speedup": round(value, 3),
+        }
+        for (ratio, percentile), value in speedups.items()
+    ]
+
+
+@REGISTRY.experiment(
+    name="fig15",
+    description="Fig. 15: sensitivity to storage-access tail latency",
+    params=(
+        Param("tail_ratios", "floats", DEFAULT_TAIL_RATIOS, "p99/median ratios"),
+        Param("percentiles", "floats", DEFAULT_PERCENTILES, "report percentiles"),
+        Param("samples", "int", 2000, "requests per measurement"),
+        Param("seed", "int", 7, "RNG seed"),
+    ),
+    profiles={
+        "fast": {"tail_ratios": (2.1, 4.0), "samples": 300},
+        "paper": {"tail_ratios": DEFAULT_TAIL_RATIOS, "samples": 10_000},
+    },
+    tags=("figure", "sensitivity"),
+)
+def _experiment(ctx, tail_ratios, percentiles, samples, seed):
+    speedups: Dict[Tuple[float, float], float] = {}
+    for ratio in tail_ratios:
+        # Fabric swap, not a rebuild: the shared context cache derives a
+        # per-ratio variant from the base (platforms, default-fabric)
+        # context, reusing applications and compiled models.
+        context = ctx.suite_context(
+            _PLATFORMS, fabric=StorageFabric().with_tail_ratio(ratio)
+        )
+        for percentile in percentiles:
+            latency = p95_latency_table(
+                context, count=samples, percentile=percentile, seed=seed
+            )
+            per_app = {
+                app: latency[BASELINE_NAME][app] / latency[DSCS_NAME][app]
+                for app in latency[BASELINE_NAME]
+            }
+            speedups[(ratio, percentile)] = geomean_speedup(per_app)
+    study = TailStudy(speedups=speedups)
+    return _speedup_rows(speedups), study
+
+
 def run(
     tail_ratios=DEFAULT_TAIL_RATIOS,
     percentiles=DEFAULT_PERCENTILES,
@@ -47,22 +103,13 @@ def run(
     seed: int = 7,
 ) -> TailStudy:
     """Regenerate Fig. 15."""
-    speedups: Dict[Tuple[float, float], float] = {}
-    for ratio in tail_ratios:
-        fabric = StorageFabric().with_tail_ratio(ratio)
-        context = build_context(
-            platform_names=[BASELINE_NAME, DSCS_NAME], fabric=fabric
-        )
-        for percentile in percentiles:
-            latency = p95_latency_table(
-                context, count=count, percentile=percentile, seed=seed
-            )
-            per_app = {
-                app: latency[BASELINE_NAME][app] / latency[DSCS_NAME][app]
-                for app in latency[BASELINE_NAME]
-            }
-            speedups[(ratio, percentile)] = geomean_speedup(per_app)
-    return TailStudy(speedups=speedups)
+    return REGISTRY.run(
+        "fig15",
+        tail_ratios=tail_ratios,
+        percentiles=percentiles,
+        samples=count,
+        seed=seed,
+    ).study
 
 
 @dataclass
@@ -76,27 +123,36 @@ class RackTailStudy:
         return self.speedups[(tail_ratio, percentile)]
 
 
-def run_rack(
-    tail_ratios=DEFAULT_TAIL_RATIOS,
-    percentiles=DEFAULT_PERCENTILES,
-    rate_scale: float = 1.0,
-    max_instances: int = 200,
-    seed: int = 13,
-    engine: str = "auto",
-) -> RackTailStudy:
-    """Fig. 15 under rack contention: one sweep cell per tail ratio.
-
-    Each ratio needs its own fabric (and hence execution models), but the
-    trace realisation depends only on the seed and application set, so it
-    is generated once and shared across every ratio and platform.
-    """
+@REGISTRY.experiment(
+    name="fig15-rack",
+    description="Fig. 15 under rack contention (fleet queueing included)",
+    params=(
+        Param("tail_ratios", "floats", DEFAULT_TAIL_RATIOS, "p99/median ratios"),
+        Param("percentiles", "floats", DEFAULT_PERCENTILES, "report percentiles"),
+        Param("rate_scale", "float", 1.0, "scale on the request-rate envelope"),
+        Param("max_instances", "int", 200, "fleet size per platform"),
+        Param("seed", "int", 13, "trace + service RNG seed"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+    ),
+    profiles={
+        "fast": {"tail_ratios": (2.1,), "rate_scale": 0.05, "max_instances": 20},
+        "paper": {"tail_ratios": DEFAULT_TAIL_RATIOS},
+    },
+    tags=("figure", "rack", "sensitivity"),
+)
+def _rack_experiment(
+    ctx, tail_ratios, percentiles, rate_scale, max_instances, seed, engine
+):
     speedups: Dict[Tuple[float, float], float] = {}
     results: Dict[Tuple[float, str], ScenarioResult] = {}
     trace = None
     for ratio in tail_ratios:
-        fabric = StorageFabric().with_tail_ratio(ratio)
-        context = build_context(
-            platform_names=[BASELINE_NAME, DSCS_NAME], fabric=fabric
+        # Same fabric-swap reuse as the isolated study: each ratio
+        # rewires the shared base context instead of rebuilding it.  The
+        # trace depends only on the seed and application set, so one
+        # realisation is shared across every ratio and platform.
+        context = ctx.suite_context(
+            _PLATFORMS, fabric=StorageFabric().with_tail_ratio(ratio)
         )
         harness = RackSweep(context, engine=engine)
         if trace is None:
@@ -119,4 +175,25 @@ def run_rack(
             ].latency_percentile(percentile) / by_platform[
                 DSCS_NAME
             ].latency_percentile(percentile)
-    return RackTailStudy(speedups=speedups, results=results)
+    study = RackTailStudy(speedups=speedups, results=results)
+    return _speedup_rows(speedups), study
+
+
+def run_rack(
+    tail_ratios=DEFAULT_TAIL_RATIOS,
+    percentiles=DEFAULT_PERCENTILES,
+    rate_scale: float = 1.0,
+    max_instances: int = 200,
+    seed: int = 13,
+    engine: str = "auto",
+) -> RackTailStudy:
+    """Fig. 15 under rack contention: one sweep cell per tail ratio."""
+    return REGISTRY.run(
+        "fig15-rack",
+        tail_ratios=tail_ratios,
+        percentiles=percentiles,
+        rate_scale=rate_scale,
+        max_instances=max_instances,
+        seed=seed,
+        engine=engine,
+    ).study

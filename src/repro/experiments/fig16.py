@@ -21,9 +21,9 @@ from repro.experiments.common import (
     BASELINE_NAME,
     DSCS_NAME,
     SuiteContext,
-    build_context,
     geomean_speedup,
 )
+from repro.experiments.registry import REGISTRY, Param
 import numpy as np
 
 
@@ -37,14 +37,23 @@ class FunctionCountStudy:
         return geomean_speedup(self.speedups[extra])
 
 
-def run(
-    extras=(0, 1, 2, 3),
-    count: int = 500,
-    seed: int = 7,
-    context: SuiteContext = None,
-) -> FunctionCountStudy:
-    """Regenerate Fig. 16."""
-    context = context or build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
+@REGISTRY.experiment(
+    name="fig16",
+    description="Fig. 16: sensitivity to the number of accelerated functions",
+    params=(
+        Param("extras", "ints", (0, 1, 2, 3), "extra inference stages"),
+        Param("samples", "int", 500, "requests per measurement"),
+        Param("seed", "int", 7, "RNG seed"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={
+        "fast": {"extras": (0, 1), "samples": 100},
+        "paper": {"extras": (0, 1, 2, 3), "samples": 10_000},
+    },
+    tags=("figure", "sensitivity"),
+)
+def _experiment(ctx, extras, samples, seed, context=None):
+    context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
     speedups: Dict[int, Dict[str, float]] = {}
     for extra in extras:
         per_app: Dict[str, float] = {}
@@ -54,19 +63,36 @@ def run(
             rng_dscs = np.random.default_rng(seed)
             base = np.percentile(
                 context.models[BASELINE_NAME].sample_latencies(
-                    extended, rng_base, count
+                    extended, rng_base, samples
                 ),
                 95,
             )
             dscs = np.percentile(
                 context.models[DSCS_NAME].sample_latencies(
-                    extended, rng_dscs, count
+                    extended, rng_dscs, samples
                 ),
                 95,
             )
             per_app[app_name] = float(base / dscs)
         speedups[extra] = per_app
-    return FunctionCountStudy(speedups=speedups)
+    study = FunctionCountStudy(speedups=speedups)
+    rows = [
+        {"extra": extra, "geomean_speedup": round(study.geomean(extra), 3)}
+        for extra in sorted(speedups)
+    ]
+    return rows, study
+
+
+def run(
+    extras=(0, 1, 2, 3),
+    count: int = 500,
+    seed: int = 7,
+    context: SuiteContext = None,
+) -> FunctionCountStudy:
+    """Regenerate Fig. 16."""
+    return REGISTRY.run(
+        "fig16", extras=extras, samples=count, seed=seed, context=context
+    ).study
 
 
 @dataclass
@@ -80,25 +106,28 @@ class RackFunctionCountStudy:
         return self.speedups[extra]
 
 
-def run_rack(
-    extras=(0, 1, 2, 3),
-    rate_scale: float = 1.0,
-    max_instances: int = 200,
-    seed: int = 13,
-    context: SuiteContext = None,
-    engine: str = "auto",
-    percentile: float = 95.0,
-) -> RackFunctionCountStudy:
-    """Fig. 16 on a contended rack: one grid per pipeline depth.
-
-    The trace depends only on application *names* (which extension
-    preserves), so one realisation is shared across every depth; each
-    depth gets its own sweep because the extended applications change
-    the service-time distributions.
-    """
-    context = context or build_context(
-        platform_names=[BASELINE_NAME, DSCS_NAME]
-    )
+@REGISTRY.experiment(
+    name="fig16-rack",
+    description="Fig. 16 served from a contended rack (deeper pipelines queue)",
+    params=(
+        Param("extras", "ints", (0, 1, 2, 3), "extra inference stages"),
+        Param("rate_scale", "float", 1.0, "scale on the request-rate envelope"),
+        Param("max_instances", "int", 200, "fleet size per platform"),
+        Param("seed", "int", 13, "trace + service RNG seed"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("percentile", "float", 95.0, "speedup percentile"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={
+        "fast": {"extras": (0, 1), "rate_scale": 0.05, "max_instances": 20},
+        "paper": {"extras": (0, 1, 2, 3)},
+    },
+    tags=("figure", "rack", "sensitivity"),
+)
+def _rack_experiment(
+    ctx, extras, rate_scale, max_instances, seed, engine, percentile, context=None
+):
+    context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
     speedups: Dict[int, float] = {}
     results: Dict[Tuple[int, str], ScenarioResult] = {}
     trace = None
@@ -128,4 +157,37 @@ def run_rack(
         speedups[extra] = by_platform[BASELINE_NAME].latency_percentile(
             percentile
         ) / by_platform[DSCS_NAME].latency_percentile(percentile)
-    return RackFunctionCountStudy(speedups=speedups, results=results)
+    study = RackFunctionCountStudy(speedups=speedups, results=results)
+    rows = [
+        {"extra": extra, "speedup": round(value, 3)}
+        for extra, value in sorted(speedups.items())
+    ]
+    return rows, study
+
+
+def run_rack(
+    extras=(0, 1, 2, 3),
+    rate_scale: float = 1.0,
+    max_instances: int = 200,
+    seed: int = 13,
+    context: SuiteContext = None,
+    engine: str = "auto",
+    percentile: float = 95.0,
+) -> RackFunctionCountStudy:
+    """Fig. 16 on a contended rack: one grid per pipeline depth.
+
+    The trace depends only on application *names* (which extension
+    preserves), so one realisation is shared across every depth; each
+    depth gets its own sweep because the extended applications change
+    the service-time distributions.
+    """
+    return REGISTRY.run(
+        "fig16-rack",
+        extras=extras,
+        rate_scale=rate_scale,
+        max_instances=max_instances,
+        seed=seed,
+        context=context,
+        engine=engine,
+        percentile=percentile,
+    ).study

@@ -24,9 +24,9 @@ from repro.experiments.common import (
     BASELINE_NAME,
     DSCS_NAME,
     SuiteContext,
-    build_context,
     geomean_speedup,
 )
+from repro.experiments.registry import REGISTRY, Param
 
 
 @dataclass
@@ -45,11 +45,19 @@ class ColdStartStudy:
         return geomean_speedup(self.cold_speedups)
 
 
-def run(
-    count: int = 1000, seed: int = 7, context: SuiteContext = None
-) -> ColdStartStudy:
-    """Regenerate Fig. 17."""
-    context = context or build_context(platform_names=[BASELINE_NAME, DSCS_NAME])
+@REGISTRY.experiment(
+    name="fig17",
+    description="Fig. 17: cold vs warm containers",
+    params=(
+        Param("samples", "int", 1000, "requests per measurement"),
+        Param("seed", "int", 7, "RNG seed"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={"fast": {"samples": 200}, "paper": {"samples": 10_000}},
+    tags=("figure", "coldstart"),
+)
+def _experiment(ctx, samples, seed, context=None):
+    context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
     warm: Dict[str, float] = {}
     cold: Dict[str, float] = {}
     for app_name, app in context.applications.items():
@@ -58,18 +66,34 @@ def run(
             rng_dscs = np.random.default_rng(seed)
             base = np.percentile(
                 context.models[BASELINE_NAME].sample_latencies(
-                    app, rng_base, count, cold=is_cold
+                    app, rng_base, samples, cold=is_cold
                 ),
                 95,
             )
             dscs = np.percentile(
                 context.models[DSCS_NAME].sample_latencies(
-                    app, rng_dscs, count, cold=is_cold
+                    app, rng_dscs, samples, cold=is_cold
                 ),
                 95,
             )
             sink[app_name] = float(base / dscs)
-    return ColdStartStudy(warm_speedups=warm, cold_speedups=cold)
+    study = ColdStartStudy(warm_speedups=warm, cold_speedups=cold)
+    rows = [
+        {
+            "benchmark": name,
+            "warm": round(study.warm_speedups[name], 3),
+            "cold": round(study.cold_speedups[name], 3),
+        }
+        for name in study.warm_speedups
+    ]
+    return rows, study
+
+
+def run(
+    count: int = 1000, seed: int = 7, context: SuiteContext = None
+) -> ColdStartStudy:
+    """Regenerate Fig. 17."""
+    return REGISTRY.run("fig17", samples=count, seed=seed, context=context).study
 
 
 @dataclass
@@ -86,23 +110,27 @@ class RackColdStartStudy:
         return self.warm_speedup / self.cold_speedup
 
 
-def run_rack(
-    rate_scale: float = 1.0,
-    max_instances: int = 200,
-    seed: int = 13,
-    context: SuiteContext = None,
-    engine: str = "auto",
-    percentile: float = 95.0,
-) -> RackColdStartStudy:
-    """Fig. 17 on a contended rack: warm and cold grids, shared inputs.
-
-    Warm and cold cells share the trace and the sweep's service-sample
-    cache keys them separately (``cold`` is part of the draw key), so the
-    comparison is apples-to-apples on identical arrival sequences.
-    """
-    context = context or build_context(
-        platform_names=[BASELINE_NAME, DSCS_NAME]
-    )
+@REGISTRY.experiment(
+    name="fig17-rack",
+    description="Fig. 17 on a contended rack (cold starts amplify queueing)",
+    params=(
+        Param("rate_scale", "float", 1.0, "scale on the request-rate envelope"),
+        Param("max_instances", "int", 200, "fleet size per platform"),
+        Param("seed", "int", 13, "trace + service RNG seed"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("percentile", "float", 95.0, "speedup percentile"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={
+        "fast": {"rate_scale": 0.05, "max_instances": 20},
+        "paper": {},
+    },
+    tags=("figure", "rack", "coldstart"),
+)
+def _rack_experiment(
+    ctx, rate_scale, max_instances, seed, engine, percentile, context=None
+):
+    context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
     harness = RackSweep(context, engine=engine)
     results: Dict[Tuple[bool, str], ScenarioResult] = {}
     speedups: Dict[bool, float] = {}
@@ -122,8 +150,41 @@ def run_rack(
         speedups[is_cold] = by_platform[BASELINE_NAME].latency_percentile(
             percentile
         ) / by_platform[DSCS_NAME].latency_percentile(percentile)
-    return RackColdStartStudy(
+    study = RackColdStartStudy(
         warm_speedup=speedups[False],
         cold_speedup=speedups[True],
         results=results,
     )
+    rows = [
+        {
+            "warm_speedup": round(study.warm_speedup, 3),
+            "cold_speedup": round(study.cold_speedup, 3),
+            "cold_penalty": round(study.cold_penalty, 3),
+        }
+    ]
+    return rows, study
+
+
+def run_rack(
+    rate_scale: float = 1.0,
+    max_instances: int = 200,
+    seed: int = 13,
+    context: SuiteContext = None,
+    engine: str = "auto",
+    percentile: float = 95.0,
+) -> RackColdStartStudy:
+    """Fig. 17 on a contended rack: warm and cold grids, shared inputs.
+
+    Warm and cold cells share the trace and the sweep's service-sample
+    cache keys them separately (``cold`` is part of the draw key), so the
+    comparison is apples-to-apples on identical arrival sequences.
+    """
+    return REGISTRY.run(
+        "fig17-rack",
+        rate_scale=rate_scale,
+        max_instances=max_instances,
+        seed=seed,
+        context=context,
+        engine=engine,
+        percentile=percentile,
+    ).study

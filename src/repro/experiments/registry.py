@@ -1,0 +1,401 @@
+"""Declarative experiment registry: describe the run, let the harness do it.
+
+Every figure/table harness registers an :class:`ExperimentSpec` — a name,
+a typed parameter schema with ``fast``/``paper`` fidelity profiles, a
+runner, and tags.  The registry then provides the single entry point
+
+    REGISTRY.run("fig13", profile="fast", rate_scale=0.1)
+
+which resolves parameters (defaults < profile < explicit overrides),
+threads a shared :class:`SuiteContextCache` through the runner so
+multi-figure runs build benchmark suites and execution models once, and
+wraps the output in a uniform
+:class:`~repro.experiments.results.ExperimentResult` with provenance
+(seed, engine, git describe, wall time).  The CLI generates one
+subcommand per spec straight from the schema, so adding an experiment
+here *is* adding it to the CLI.
+"""
+
+from __future__ import annotations
+
+import functools
+import platform as _platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError
+from repro.experiments.results import ExperimentResult, jsonable
+
+# The two fidelity profiles every spec must define.  ``fast`` is the
+# seconds-scale smoke configuration; ``paper`` is the publication-scale
+# methodology (10,000 requests, full grids).
+PROFILE_NAMES = ("fast", "paper")
+
+# Parameter kinds understood by the schema (and the CLI generator).
+# ``ints``/``floats``/``strs`` are comma-separated tuples on the command
+# line; ``object`` is a programmatic-only passthrough (never a CLI flag,
+# never recorded into result params).
+PARAM_KINDS = ("int", "float", "str", "bool", "ints", "floats", "strs", "object")
+
+_SCALAR_PARSERS = {"int": int, "float": float, "str": str}
+
+
+def _parse_sequence(text: str, scalar: Callable[[str], Any]) -> Tuple[Any, ...]:
+    items = [piece.strip() for piece in str(text).split(",") if piece.strip()]
+    if not items:
+        raise ConfigurationError(f"empty sequence parameter value {text!r}")
+    return tuple(scalar(item) for item in items)
+
+
+@dataclass(frozen=True)
+class Param:
+    """One experiment parameter: name, kind, default, and CLI exposure."""
+
+    name: str
+    kind: str
+    default: Any = None
+    help: str = ""
+    cli: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARAM_KINDS:
+            raise ConfigurationError(
+                f"unknown param kind {self.kind!r}; expected one of "
+                f"{PARAM_KINDS}"
+            )
+        if self.kind == "object" and self.cli:
+            raise ConfigurationError(
+                f"object param {self.name!r} cannot be a CLI flag"
+            )
+
+    @property
+    def record(self) -> bool:
+        """Whether the value belongs in the serialised params dict."""
+        return self.kind != "object"
+
+    def parse(self, text: str) -> Any:
+        """Parse a command-line string into this parameter's type."""
+        if self.kind in _SCALAR_PARSERS:
+            return _SCALAR_PARSERS[self.kind](text)
+        if self.kind == "bool":
+            if text not in ("true", "false", "True", "False"):
+                raise ConfigurationError(f"bad bool value {text!r}")
+            return text in ("true", "True")
+        if self.kind in ("ints", "floats", "strs"):
+            return _parse_sequence(text, _SCALAR_PARSERS[self.kind[:-1]])
+        raise ConfigurationError(
+            f"param {self.name!r} ({self.kind}) is not CLI-parseable"
+        )
+
+    def coerce(self, value: Any) -> Any:
+        """Normalise a programmatic value (sequences become tuples)."""
+        if self.kind == "object" or value is None:
+            return value
+        if self.kind in ("ints", "floats", "strs"):
+            if isinstance(value, str):
+                return self.parse(value)
+            scalar = _SCALAR_PARSERS[self.kind[:-1]]
+            return tuple(scalar(item) for item in value)
+        if self.kind == "bool":
+            if not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"param {self.name!r} expects a bool, got {value!r}"
+                )
+            return value
+        return _SCALAR_PARSERS[self.kind](value)
+
+
+# A runner takes the run context plus resolved params and returns either
+# ``rows`` or ``(rows, study)``.
+Runner = Callable[..., Any]
+
+
+@dataclass
+class ExperimentSpec:
+    """A registered experiment: schema, fidelity profiles, runner, tags."""
+
+    name: str
+    description: str
+    runner: Runner
+    params: Tuple[Param, ...] = ()
+    profiles: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+    headline: Optional[Callable[[Any], Optional[str]]] = None
+
+    def __post_init__(self) -> None:
+        names = [param.name for param in self.params]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"{self.name}: duplicate parameter names in {names}"
+            )
+        for profile in PROFILE_NAMES:
+            self.profiles.setdefault(profile, {})
+        for profile, overrides in self.profiles.items():
+            if profile not in PROFILE_NAMES:
+                raise ConfigurationError(
+                    f"{self.name}: unknown fidelity profile {profile!r}"
+                )
+            unknown = set(overrides) - set(names)
+            if unknown:
+                raise ConfigurationError(
+                    f"{self.name}: profile {profile!r} sets unknown "
+                    f"params {sorted(unknown)}"
+                )
+        self.tags = tuple(self.tags)
+
+    def param(self, name: str) -> Param:
+        for candidate in self.params:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(
+            f"{self.name}: unknown parameter {name!r}; expected one of "
+            f"{[p.name for p in self.params]}"
+        )
+
+    def cli_params(self) -> List[Param]:
+        return [param for param in self.params if param.cli]
+
+    def resolve(
+        self,
+        profile: Optional[str] = None,
+        overrides: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Defaults < fidelity profile < explicit overrides."""
+        if profile is not None and profile not in self.profiles:
+            raise ConfigurationError(
+                f"{self.name}: unknown fidelity profile {profile!r}; "
+                f"expected one of {PROFILE_NAMES}"
+            )
+        resolved = {param.name: param.default for param in self.params}
+        if profile is not None:
+            resolved.update(self.profiles[profile])
+        for name, value in dict(overrides or {}).items():
+            resolved[name] = self.param(name).coerce(value)
+        return resolved
+
+
+class SuiteContextCache:
+    """Shared suite contexts keyed by (platforms, fabric fingerprint).
+
+    The base context per platform set is built once; fabric variants
+    (e.g. the Fig. 15 tail-ratio sweep) are derived from it with
+    :meth:`~repro.experiments.common.SuiteContext.with_fabric`, so the
+    benchmark applications and the compiled execution models are shared
+    rather than rebuilt per cell.
+    """
+
+    def __init__(self) -> None:
+        self._base: Dict[Optional[Tuple[str, ...]], Any] = {}
+        self._variants: Dict[Tuple[Optional[Tuple[str, ...]], str], Any] = {}
+
+    def get(
+        self,
+        platform_names: Optional[Sequence[str]] = None,
+        fabric: Optional[Any] = None,
+    ):
+        from repro.experiments.common import build_context, fabric_fingerprint
+
+        key = tuple(platform_names) if platform_names is not None else None
+        base = self._base.get(key)
+        if base is None:
+            base = build_context(platform_names)
+            self._base[key] = base
+        if fabric is None:
+            return base
+        variant_key = (key, fabric_fingerprint(fabric))
+        variant = self._variants.get(variant_key)
+        if variant is None:
+            variant = base.with_fabric(fabric)
+            self._variants[variant_key] = variant
+        return variant
+
+    def clear(self) -> None:
+        self._base.clear()
+        self._variants.clear()
+
+
+@dataclass
+class RunContext:
+    """What a runner gets besides its resolved parameters."""
+
+    registry: "ExperimentRegistry"
+    profile: Optional[str] = None
+
+    def suite_context(
+        self,
+        platform_names: Optional[Sequence[str]] = None,
+        fabric: Optional[Any] = None,
+    ):
+        """The shared (cached) suite context for a platform set/fabric."""
+        return self.registry.context_cache.get(platform_names, fabric)
+
+
+@functools.lru_cache(maxsize=1)
+def git_describe() -> str:
+    """``git describe`` of the source tree, or ``"unknown"`` outside git."""
+    root = Path(__file__).resolve().parents[3]
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+class ExperimentRegistry:
+    """Name -> spec mapping plus the shared execution machinery."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+        self.context_cache = SuiteContextCache()
+
+    # ------------------------------------------------------- registration
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        if spec.name in self._specs:
+            raise ConfigurationError(
+                f"experiment {spec.name!r} is already registered"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def experiment(
+        self,
+        name: str,
+        description: str,
+        params: Sequence[Param] = (),
+        profiles: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        tags: Sequence[str] = (),
+        headline: Optional[Callable[[Any], Optional[str]]] = None,
+    ) -> Callable[[Runner], Runner]:
+        """Decorator form: register the decorated function as the runner."""
+
+        def decorate(runner: Runner) -> Runner:
+            self.register(
+                ExperimentSpec(
+                    name=name,
+                    description=description,
+                    runner=runner,
+                    params=tuple(params),
+                    profiles={
+                        key: dict(value)
+                        for key, value in dict(profiles or {}).items()
+                    },
+                    tags=tuple(tags),
+                    headline=headline,
+                )
+            )
+            return runner
+
+        return decorate
+
+    # ------------------------------------------------------------- lookup
+    def get(self, name: str) -> ExperimentSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ConfigurationError(
+                f"unknown experiment {name!r}; registered: {self.names()}"
+            )
+        return spec
+
+    def names(self) -> List[str]:
+        return list(self._specs)
+
+    def specs(self) -> List[ExperimentSpec]:
+        return list(self._specs.values())
+
+    def by_tag(self, tag: str) -> List[ExperimentSpec]:
+        return [spec for spec in self._specs.values() if tag in spec.tags]
+
+    # ------------------------------------------------------------ running
+    def run(
+        self, name: str, profile: Optional[str] = None, **overrides: Any
+    ) -> ExperimentResult:
+        """Resolve params, run the experiment, wrap rows + provenance."""
+        spec = self.get(name)
+        params = spec.resolve(profile, overrides)
+        context = RunContext(registry=self, profile=profile)
+        start = time.perf_counter()
+        outcome = spec.runner(context, **params)
+        wall_seconds = time.perf_counter() - start
+        if isinstance(outcome, tuple):
+            rows, study = outcome
+        else:
+            rows, study = outcome, None
+        rows = [dict(row) for row in rows]
+        recorded = {
+            param.name: jsonable(params[param.name])
+            for param in spec.params
+            if param.record
+        }
+        provenance = {
+            "profile": profile,
+            "seed": recorded.get("seed"),
+            "engine": recorded.get("engine"),
+            "git": git_describe(),
+            "python": _platform.python_version(),
+            "wall_time_s": round(wall_seconds, 6),
+        }
+        return ExperimentResult(
+            experiment=name,
+            params=recorded,
+            rows=rows,
+            provenance=provenance,
+            study=study,
+        )
+
+
+#: The process-wide registry every harness registers into.
+REGISTRY = ExperimentRegistry()
+
+# Modules that register specs on import, in presentation order.
+_EXPERIMENT_MODULES = (
+    "repro.experiments.tables",
+    "repro.experiments.fig03",
+    "repro.experiments.fig04",
+    "repro.experiments.fig07",
+    "repro.experiments.fig08",
+    "repro.experiments.fig09",
+    "repro.experiments.fig10",
+    "repro.experiments.fig11",
+    "repro.experiments.fig12",
+    "repro.experiments.fig13",
+    "repro.experiments.fig14",
+    "repro.experiments.fig15",
+    "repro.experiments.fig16",
+    "repro.experiments.fig17",
+)
+
+
+def load_all() -> ExperimentRegistry:
+    """Import every experiment module so their specs are registered."""
+    import importlib
+
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    return REGISTRY
+
+
+def iter_specs(tag: Optional[str] = None) -> Iterable[ExperimentSpec]:
+    """Convenience: load everything, then iterate (optionally by tag)."""
+    load_all()
+    return REGISTRY.by_tag(tag) if tag else REGISTRY.specs()

@@ -1,7 +1,17 @@
 """Result serialisation: experiment outputs to JSON/CSV/markdown.
 
 An open-source release needs machine-readable artifacts; these writers
-take the per-figure study objects and persist flat tables.
+take the per-figure study objects and persist flat tables.  Two formats
+coexist:
+
+- **plain row tables** — a JSON array / CSV file of flat dicts
+  (:func:`write_json`, :func:`write_csv`); and
+- **result documents** — the registry's uniform
+  ``{experiment, params, provenance, rows}`` envelope
+  (:func:`write_result_json`, :func:`write_result_csv`).
+  :func:`read_json` transparently returns a :class:`ResultTable` (a
+  ``list`` of rows carrying the envelope metadata as attributes) for
+  these, so row-oriented callers keep working unchanged.
 """
 
 from __future__ import annotations
@@ -14,6 +24,38 @@ from typing import Dict, List, Mapping, Sequence, Union
 from repro.errors import ConfigurationError
 
 Row = Mapping[str, Union[str, int, float, bool, None]]
+
+# Keys a result document must carry (see repro.experiments.results).
+RESULT_DOCUMENT_KEYS = frozenset({"experiment", "params", "provenance", "rows"})
+
+
+class ResultTable(List[Dict[str, object]]):
+    """Rows of a result document, plus its envelope as attributes.
+
+    Compares equal to (and iterates as) a plain list of rows, so callers
+    that only care about the table never notice the provenance riding
+    along.
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[Row],
+        experiment: str = "",
+        params: Mapping[str, object] = (),
+        provenance: Mapping[str, object] = (),
+    ) -> None:
+        super().__init__(dict(row) for row in rows)
+        self.experiment = experiment
+        self.params = dict(params)
+        self.provenance = dict(provenance)
+
+    def document(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "params": dict(self.params),
+            "provenance": dict(self.provenance),
+            "rows": [dict(row) for row in self],
+        }
 
 
 def _validate_rows(rows: Sequence[Row]) -> List[Dict[str, object]]:
@@ -54,12 +96,172 @@ def write_csv(rows: Sequence[Row], path: Union[str, Path]) -> Path:
 
 
 def read_json(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Read back a JSON table written by :func:`write_json`."""
+    """Read back a JSON table written by :func:`write_json` or
+    :func:`write_result_json`.
+
+    Plain arrays come back as a ``list`` of rows; result documents come
+    back as a :class:`ResultTable` — still a list of rows, with
+    ``experiment`` / ``params`` / ``provenance`` attached.
+    """
     with Path(path).open() as handle:
         data = json.load(handle)
-    if not isinstance(data, list):
-        raise ConfigurationError(f"{path}: expected a JSON array of rows")
-    return data
+    if isinstance(data, list):
+        return data
+    if isinstance(data, dict) and RESULT_DOCUMENT_KEYS <= set(data):
+        return ResultTable(
+            data["rows"],
+            experiment=data["experiment"],
+            params=data["params"],
+            provenance=data["provenance"],
+        )
+    raise ConfigurationError(
+        f"{path}: expected a JSON array of rows or a result document"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Result documents: the registry's uniform envelope.
+# ---------------------------------------------------------------------------
+
+
+def _validate_document(document: Mapping[str, object]) -> Dict[str, object]:
+    missing = RESULT_DOCUMENT_KEYS - set(document)
+    if missing:
+        raise ConfigurationError(
+            f"result document is missing {sorted(missing)}"
+        )
+    normalised = dict(document)
+    normalised["rows"] = _validate_rows(document["rows"])
+    return normalised
+
+
+def write_result_json(
+    document: Mapping[str, object], path: Union[str, Path]
+) -> Path:
+    """Write a result document; read it back with :func:`read_json`."""
+    normalised = _validate_document(document)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        json.dump(normalised, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return target
+
+
+# Column kinds the typed CSV codec understands.  Scalar kinds store the
+# value verbatim (CSV quoting makes strings lossless); ``json`` covers
+# None, lists, and mixed-type columns.
+_CSV_KINDS = ("int", "float", "bool", "str", "json")
+
+
+def _column_kind(values: Sequence[object]) -> str:
+    kinds = set()
+    for value in values:
+        if isinstance(value, bool):
+            kinds.add("bool")
+        elif isinstance(value, int):
+            kinds.add("int")
+        elif isinstance(value, float):
+            kinds.add("float")
+        elif isinstance(value, str):
+            kinds.add("str")
+        else:
+            kinds.add("json")
+    if len(kinds) == 1:
+        return kinds.pop()
+    if kinds <= {"int", "float"}:
+        return "float"
+    return "json"
+
+
+def _encode_cell(value: object, kind: str) -> str:
+    if kind == "json":
+        return json.dumps(value)
+    if kind == "float":
+        return repr(float(value))
+    return str(value)
+
+
+def _decode_cell(text: str, kind: str) -> object:
+    if kind == "int":
+        return int(text)
+    if kind == "float":
+        return float(text)
+    if kind == "bool":
+        if text not in ("True", "False"):
+            raise ConfigurationError(f"bad bool cell {text!r}")
+        return text == "True"
+    if kind == "str":
+        return text
+    return json.loads(text)
+
+
+def write_result_csv(
+    document: Mapping[str, object], path: Union[str, Path]
+) -> Path:
+    """Write a result document as CSV, losslessly.
+
+    The envelope (experiment, params, provenance) and the per-column
+    type schema ride in ``#``-prefixed header comments; cells are
+    encoded per their column's declared kind so :func:`read_result_csv`
+    reconstructs the exact document.
+    """
+    normalised = _validate_document(document)
+    rows = normalised["rows"]
+    keys = list(rows[0])
+    schema = {key: _column_kind([row[key] for row in rows]) for key in keys}
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        for field in ("experiment", "params", "provenance"):
+            handle.write(f"# {field}: {json.dumps(normalised[field])}\n")
+        handle.write(f"# schema: {json.dumps(schema)}\n")
+        writer = csv.writer(handle)
+        writer.writerow(keys)
+        for row in rows:
+            writer.writerow(
+                [_encode_cell(row[key], schema[key]) for key in keys]
+            )
+    return target
+
+
+def read_result_csv(path: Union[str, Path]) -> Dict[str, object]:
+    """Read back a document written by :func:`write_result_csv`."""
+    header: Dict[str, object] = {}
+    body: List[str] = []
+    in_header = True
+    with Path(path).open(newline="") as handle:
+        for line in handle:
+            # Only the leading comment block is envelope metadata; once
+            # the CSV body starts, a cell that happens to begin with
+            # "# " (or a quoted cell spanning lines) is data.
+            if in_header and line.startswith("# "):
+                field, _, payload = line[2:].partition(":")
+                header[field.strip()] = json.loads(payload)
+            else:
+                in_header = False
+                body.append(line)
+    missing = (RESULT_DOCUMENT_KEYS - {"rows"} | {"schema"}) - set(header)
+    if missing:
+        raise ConfigurationError(
+            f"{path}: result CSV is missing header comments {sorted(missing)}"
+        )
+    schema = header["schema"]
+    reader = csv.reader(body)
+    keys = next(reader)
+    rows = [
+        {
+            key: _decode_cell(cell, schema[key])
+            for key, cell in zip(keys, record)
+        }
+        for record in reader
+    ]
+    return {
+        "experiment": header["experiment"],
+        "params": header["params"],
+        "provenance": header["provenance"],
+        "rows": rows,
+    }
 
 
 def to_markdown(rows: Sequence[Row], title: str = "") -> str:

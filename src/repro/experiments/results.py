@@ -1,0 +1,117 @@
+"""The uniform result type every registered experiment returns.
+
+An :class:`ExperimentResult` bundles what a figure harness produced (flat
+``rows``), how it was asked to produce it (``params``), and where it came
+from (``provenance``: seed, engine, git describe, wall time, versions).
+The same object serialises losslessly to JSON and CSV through
+:mod:`repro.experiments.report`, so artifacts written by the CLI can be
+read back — provenance intact — by downstream tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments import report
+
+
+def jsonable(value: Any) -> Any:
+    """Normalise a parameter value into its JSON representation.
+
+    Tuples (the registry's canonical sequence type) become lists so a
+    params dict compares equal across a JSON round-trip.
+    """
+    if isinstance(value, (tuple, list)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    raise ConfigurationError(
+        f"parameter value {value!r} is not JSON-serialisable; mark the "
+        "parameter record=False"
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """Typed rows + params + provenance for one experiment run.
+
+    ``study`` holds the harness's rich domain object (e.g. a
+    ``SpeedupStudy``) for programmatic callers; it is excluded from
+    equality and from serialisation.
+    """
+
+    experiment: str
+    params: Dict[str, Any]
+    rows: List[Dict[str, Any]]
+    provenance: Dict[str, Any]
+    study: Any = field(default=None, compare=False, repr=False)
+
+    # ------------------------------------------------------------- views
+    def document(self) -> Dict[str, Any]:
+        """The canonical JSON-serialisable form."""
+        return {
+            "experiment": self.experiment,
+            "params": jsonable(self.params),
+            "provenance": jsonable(self.provenance),
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    def to_markdown(self, title: Optional[str] = None) -> str:
+        return report.to_markdown(
+            self.rows, title=self.experiment if title is None else title
+        )
+
+    # ------------------------------------------------------------ output
+    def write_json(self, path: Union[str, Path]) -> Path:
+        return report.write_result_json(self.document(), path)
+
+    def write_csv(self, path: Union[str, Path]) -> Path:
+        """Lossless CSV (typed columns + ``#``-prefixed provenance header)."""
+        return report.write_result_csv(self.document(), path)
+
+    # ------------------------------------------------------------- input
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "ExperimentResult":
+        missing = {"experiment", "params", "provenance", "rows"} - set(document)
+        if missing:
+            raise ConfigurationError(
+                f"result document is missing {sorted(missing)}"
+            )
+        return cls(
+            experiment=str(document["experiment"]),
+            params=dict(document["params"]),
+            rows=[dict(row) for row in document["rows"]],
+            provenance=dict(document["provenance"]),
+        )
+
+    @classmethod
+    def read_json(cls, path: Union[str, Path]) -> "ExperimentResult":
+        table = report.read_json(path)
+        if not isinstance(table, report.ResultTable):
+            raise ConfigurationError(
+                f"{path}: plain row table, not an experiment result document"
+            )
+        return cls(
+            experiment=table.experiment,
+            params=dict(table.params),
+            rows=[dict(row) for row in table],
+            provenance=dict(table.provenance),
+        )
+
+    @classmethod
+    def read_csv(cls, path: Union[str, Path]) -> "ExperimentResult":
+        return cls.from_document(report.read_result_csv(path))
+
+
+def result_rows_equal(
+    a: Sequence[Mapping[str, Any]], b: Sequence[Mapping[str, Any]]
+) -> bool:
+    """Order-sensitive row-table equality (helper for equivalence tests)."""
+    return [dict(row) for row in a] == [dict(row) for row in b]

@@ -28,7 +28,10 @@ class SSDDrive:
     capacity_bytes: int = 4 * 1024 * GB
     flash: FlashArray = field(default_factory=FlashArray)
     host_link: PCIeLink = field(default_factory=PCIeLink)
-    drive_id: int = field(default_factory=lambda: next(_drive_ids))
+    # Fleet-unique identity, not configuration: kept out of the repr so
+    # two identically configured drives compare/fingerprint identically
+    # (repro.experiments.common.fabric_fingerprint keys caches on repr).
+    drive_id: int = field(default_factory=lambda: next(_drive_ids), repr=False)
     idle_power_watts: float = 5.0
     active_power_watts: float = 12.0
 

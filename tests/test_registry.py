@@ -1,0 +1,289 @@
+"""The experiment registry: schema resolution, context cache, provenance,
+result round-trips, and legacy-shim equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.fabric import StorageFabric
+from repro.core.model import ServerlessExecutionModel
+from repro.errors import ConfigurationError
+from repro.experiments import fig03, fig09, fig14, fig15, report
+from repro.experiments.common import (
+    BASELINE_NAME,
+    DSCS_NAME,
+    build_context,
+    fabric_fingerprint,
+    geomean_speedup,
+    p95_latency_table,
+)
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentRegistry,
+    ExperimentSpec,
+    Param,
+    load_all,
+)
+from repro.experiments.results import ExperimentResult
+from repro.platforms.registry import dscs_dsa
+
+
+def _spec(**kwargs):
+    defaults = dict(
+        name="toy",
+        description="toy experiment",
+        runner=lambda ctx, samples, seed: [{"samples": samples, "seed": seed}],
+        params=(
+            Param("samples", "int", 100),
+            Param("seed", "int", 7),
+        ),
+        profiles={"fast": {"samples": 10}, "paper": {"samples": 1000}},
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+class TestParam:
+    def test_sequence_kinds_parse_comma_separated(self):
+        assert Param("xs", "ints", ()).parse("1, 2,3") == (1, 2, 3)
+        assert Param("xs", "floats", ()).parse("0.5,1.0") == (0.5, 1.0)
+        assert Param("xs", "strs", ()).parse("a,b") == ("a", "b")
+
+    def test_coerce_normalises_lists_to_tuples(self):
+        assert Param("xs", "ints", ()).coerce([1, 2]) == (1, 2)
+        assert Param("x", "float", 0.0).coerce(3) == 3.0
+
+    def test_object_params_cannot_be_cli(self):
+        with pytest.raises(ConfigurationError):
+            Param("ctx", "object", None, cli=True)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Param("x", "complex", 0)
+
+    def test_bool_coerce_rejects_non_bool(self):
+        with pytest.raises(ConfigurationError):
+            Param("flag", "bool", False).coerce(1)
+
+
+class TestSpecResolution:
+    def test_defaults_then_profile_then_overrides(self):
+        spec = _spec()
+        assert spec.resolve() == {"samples": 100, "seed": 7}
+        assert spec.resolve("fast") == {"samples": 10, "seed": 7}
+        assert spec.resolve("fast", {"samples": 25}) == {"samples": 25, "seed": 7}
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec().resolve("ludicrous")
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec().resolve(None, {"nope": 1})
+
+    def test_profile_with_unknown_param_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            _spec(profiles={"fast": {"nope": 1}})
+
+    def test_missing_profiles_default_to_empty(self):
+        spec = _spec(profiles={})
+        assert spec.resolve("fast") == spec.resolve("paper") == spec.resolve()
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        registry = ExperimentRegistry()
+        registry.register(_spec())
+        with pytest.raises(ConfigurationError):
+            registry.register(_spec())
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRegistry().get("fig99")
+
+    def test_run_wraps_rows_params_provenance(self):
+        registry = ExperimentRegistry()
+        registry.register(_spec())
+        result = registry.run("toy", profile="fast", seed=3)
+        assert result.experiment == "toy"
+        assert result.params == {"samples": 10, "seed": 3}
+        assert result.rows == [{"samples": 10, "seed": 3}]
+        assert result.provenance["profile"] == "fast"
+        assert result.provenance["seed"] == 3
+        assert result.provenance["wall_time_s"] >= 0
+        assert result.provenance["git"]
+
+    def test_object_params_are_not_recorded(self):
+        registry = ExperimentRegistry()
+        registry.register(
+            _spec(
+                runner=lambda ctx, samples, seed, context=None: [{"ok": True}],
+                params=(
+                    Param("samples", "int", 100),
+                    Param("seed", "int", 7),
+                    Param("context", "object", None, cli=False),
+                ),
+            )
+        )
+        result = registry.run("toy", context=object())
+        assert "context" not in result.params
+
+    def test_load_all_registers_every_harness(self):
+        load_all()
+        names = set(REGISTRY.names())
+        figures = {
+            "fig03", "fig04", "fig07", "fig08", "fig09", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        }
+        racks = {"fig13-sweep", "fig15-rack", "fig16-rack", "fig17-rack"}
+        assert figures | racks | {"table1", "table2", "dse"} <= names
+        for spec in REGISTRY.specs():
+            assert {"fast", "paper"} <= set(spec.profiles)
+
+
+class TestSuiteContextCache:
+    def test_same_platforms_return_same_context(self):
+        registry = ExperimentRegistry()
+        first = registry.context_cache.get([BASELINE_NAME, DSCS_NAME])
+        again = registry.context_cache.get([BASELINE_NAME, DSCS_NAME])
+        assert first is again
+
+    def test_fabric_variants_share_applications(self):
+        registry = ExperimentRegistry()
+        base = registry.context_cache.get([BASELINE_NAME, DSCS_NAME])
+        fabric = StorageFabric().with_tail_ratio(3.0)
+        variant = registry.context_cache.get([BASELINE_NAME, DSCS_NAME], fabric)
+        assert variant is not base
+        assert variant.applications is base.applications
+        # Platform objects (compiled programs) are shared; fabric swapped.
+        assert (
+            variant.models[DSCS_NAME].platform
+            is base.models[DSCS_NAME].platform
+        )
+        assert variant.models[DSCS_NAME].fabric is fabric
+        # Equal fabrics fingerprint equal -> cache hit.
+        again = registry.context_cache.get(
+            [BASELINE_NAME, DSCS_NAME], StorageFabric().with_tail_ratio(3.0)
+        )
+        assert again is variant
+
+    def test_fingerprint_value_based(self):
+        assert fabric_fingerprint(StorageFabric()) == fabric_fingerprint(
+            StorageFabric()
+        )
+        assert fabric_fingerprint(
+            StorageFabric().with_tail_ratio(4.0)
+        ) != fabric_fingerprint(StorageFabric())
+
+
+class TestWithFabric:
+    def test_model_with_fabric_shares_platform(self):
+        fabric = StorageFabric().with_tail_ratio(3.0)
+        model = ServerlessExecutionModel(platform=dscs_dsa())
+        swapped = model.with_fabric(fabric)
+        assert swapped is not model
+        assert swapped.platform is model.platform
+        assert swapped.fabric is fabric
+        assert model.fabric is not fabric  # original untouched
+
+    def test_swapped_model_equals_fresh_construction(self):
+        fabric = StorageFabric().with_tail_ratio(3.0)
+        context = build_context([BASELINE_NAME, DSCS_NAME])
+        swapped = context.models[DSCS_NAME].with_fabric(fabric)
+        fresh = build_context([BASELINE_NAME, DSCS_NAME], fabric=fabric).models[
+            DSCS_NAME
+        ]
+        app = context.applications["Remote Sensing"]
+        got = swapped.sample_latencies(app, np.random.default_rng(0), 64)
+        want = fresh.sample_latencies(app, np.random.default_rng(0), 64)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestFig15FabricSwap:
+    def test_tail_sweep_equivalent_to_per_ratio_rebuild(self):
+        """The with_fabric rewrite reproduces the rebuild-per-ratio sweep."""
+        ratios = (2.1, 3.0)
+        percentiles = (50.0, 99.0)
+        count, seed = 200, 7
+        study = fig15.run(
+            tail_ratios=ratios, percentiles=percentiles, count=count, seed=seed
+        )
+        for ratio in ratios:
+            fabric = StorageFabric().with_tail_ratio(ratio)
+            context = build_context(
+                platform_names=[BASELINE_NAME, DSCS_NAME], fabric=fabric
+            )
+            for percentile in percentiles:
+                latency = p95_latency_table(
+                    context, count=count, percentile=percentile, seed=seed
+                )
+                per_app = {
+                    app: latency[BASELINE_NAME][app] / latency[DSCS_NAME][app]
+                    for app in latency[BASELINE_NAME]
+                }
+                assert study.at(ratio, percentile) == geomean_speedup(per_app)
+
+
+class TestLegacyShims:
+    def test_fig03_shim_matches_registry(self):
+        load_all()
+        via_shim = fig03.run(samples=200, seed=11)
+        via_registry = REGISTRY.run("fig03", samples=200, seed=11).study
+        assert set(via_shim) == set(via_registry)
+        for name in via_shim:
+            assert via_shim[name].median == via_registry[name].median
+            assert via_shim[name].p99 == via_registry[name].p99
+
+    def test_fig09_shim_matches_registry(self):
+        load_all()
+        context = REGISTRY.context_cache.get()
+        via_shim = fig09.run(count=100, context=context)
+        via_registry = REGISTRY.run("fig09", samples=100, context=context).study
+        assert via_shim == via_registry
+
+    def test_fig14_shim_matches_registry(self):
+        load_all()
+        context = REGISTRY.context_cache.get([BASELINE_NAME, DSCS_NAME])
+        via_shim = fig14.run(batches=(1, 4), count=50, context=context)
+        via_registry = REGISTRY.run(
+            "fig14", batches=(1, 4), samples=50, context=context
+        ).study
+        assert via_shim == via_registry
+
+
+class TestResultSerialisation:
+    @pytest.fixture()
+    def result(self):
+        load_all()
+        return REGISTRY.run("fig03", profile="fast", samples=128)
+
+    def test_json_round_trip_preserves_document(self, result, tmp_path):
+        path = result.write_json(tmp_path / "fig03.json")
+        table = report.read_json(path)
+        assert isinstance(table, report.ResultTable)
+        assert table == result.rows
+        assert table.experiment == "fig03"
+        assert table.provenance == result.provenance
+        assert table.params == {"samples": 128, "seed": 11}
+        assert ExperimentResult.read_json(path).document() == result.document()
+
+    def test_csv_round_trip_is_lossless(self, result, tmp_path):
+        path = result.write_csv(tmp_path / "fig03.csv")
+        assert ExperimentResult.read_csv(path).document() == result.document()
+
+    def test_csv_round_trips_mixed_kinds(self, tmp_path):
+        document = {
+            "experiment": "toy",
+            "params": {"xs": [1, 2]},
+            "provenance": {"git": "abc", "wall_time_s": 0.5},
+            "rows": [
+                {"name": "a,b", "n": 1, "x": 0.125, "ok": True, "tags": [1, 2]},
+                {"name": 'quote"d', "n": 2, "x": 2.5, "ok": False, "tags": None},
+            ],
+        }
+        path = report.write_result_csv(document, tmp_path / "toy.csv")
+        assert report.read_result_csv(path) == document
+
+    def test_plain_json_still_reads_as_list(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2}]
+        path = report.write_json(rows, tmp_path / "rows.json")
+        assert report.read_json(path) == rows
