@@ -8,6 +8,7 @@ targets.  Usage::
 
     python -m repro.cli list
     python -m repro.cli run fig13 --fast
+    python -m repro.cli run fig13-policy --fast
     python -m repro.cli fig09 --samples 10000 --json results/fig09.json
     python -m repro.cli fig15-rack --fast --csv results/fig15_rack.csv
     python -m repro.cli dse --full

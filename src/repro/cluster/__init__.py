@@ -1,18 +1,32 @@
 """At-scale datacenter simulation (paper §6.1, §6.2.2, Fig. 13).
 
 A rack of up to 200 function instances fed by a bursty Poisson request
-trace for 20 minutes, with an FCFS scheduler holding up to 10,000 queued
-requests.  Produces the arrival/queue-depth/latency time series of
-Fig. 13 and the wall-clock comparison of §6.2.2.  FCFS runs execute on
-the vectorized busy-period engine (:mod:`repro.cluster.fast_engine`),
-bit-identical to the event-driven oracle; :mod:`repro.cluster.sweep`
-fans scenario grids out over shared traces and service samples.
+trace for 20 minutes, with a pluggable scheduler holding up to 10,000
+queued requests.  Produces the arrival/queue-depth/latency time series
+of Fig. 13 and the wall-clock comparison of §6.2.2.  Every scheduling
+policy is a :class:`~repro.cluster.policy_keys.PolicyKey` (static
+per-app key vector + sequence tie-break) driving two bit-identical
+backends: FCFS runs execute on the vectorized busy-period engine
+(:mod:`repro.cluster.fast_engine`), keyed policies (SJF, criticality,
+DAG-aware) on the index-priority engine
+(:mod:`repro.cluster.policy_engine`), both enforced against the
+event-driven oracle; :mod:`repro.cluster.sweep` fans scenario grids out
+over shared traces and service samples.
 """
 
+from repro.cluster.policy_keys import (
+    KeyedQueue,
+    PolicyKey,
+    criticality_key,
+    dag_key,
+    fcfs_key,
+    sjf_key,
+)
 from repro.cluster.schedulers import (
     CriticalityPolicy,
     DAGAwarePolicy,
     FCFSPolicy,
+    KeyedPolicy,
     PolicyFactory,
     QueuedRequest,
     ShortestJobFirstPolicy,
@@ -34,7 +48,10 @@ __all__ = [
     "CriticalityPolicy",
     "DAGAwarePolicy",
     "FCFSPolicy",
+    "KeyedPolicy",
+    "KeyedQueue",
     "PolicyFactory",
+    "PolicyKey",
     "QueuedRequest",
     "RackScenario",
     "RackSimulation",
@@ -45,5 +62,9 @@ __all__ = [
     "ShortestJobFirstPolicy",
     "SimulationSeries",
     "TraceGenerator",
+    "criticality_key",
+    "dag_key",
+    "fcfs_key",
     "scenario_grid",
+    "sjf_key",
 ]

@@ -15,10 +15,14 @@ Two engines produce those series:
   oracle (same drops, same latencies, same series, same RNG end state)
   at a fraction of the wall-clock cost.
 
-The default ``engine="auto"`` picks the vectorized engine whenever the
-run is FCFS over a time-ordered trace and transparently falls back to the
-event-driven path otherwise (SJF / criticality / DAG-aware policies
-reorder the queue, which the array formulation does not model).
+The default ``engine="auto"`` picks a vectorized engine whenever the
+trace is time-ordered: FCFS runs use the busy-period engine above, and
+keyed policies (SJF / criticality / DAG-aware — anything driven by a
+:class:`~repro.cluster.policy_keys.PolicyKey`) use the index-priority
+engine in :mod:`repro.cluster.policy_engine`, which batches
+contention-free stretches and dispatches congested ones through a
+primitive-heap kernel.  Both are bit-identical to the event-driven
+oracle, which remains the fallback for unsorted traces.
 """
 
 from __future__ import annotations
@@ -29,7 +33,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.cluster.fast_engine import run_vectorized, sample_tick_times
-from repro.cluster.schedulers import FCFSPolicy, PolicyFactory, QueuedRequest
+from repro.cluster.policy_engine import run_keyed
+from repro.cluster.schedulers import (
+    FCFSPolicy,
+    KeyedPolicy,
+    PolicyFactory,
+    QueuedRequest,
+)
 from repro.core.model import ServerlessExecutionModel
 from repro.cluster.trace import RequestTrace
 from repro.errors import ConfigurationError, SchedulingError
@@ -189,6 +199,17 @@ class RackSimulation:
         self._sample_cache = sample_cache
         self._service_samples: Dict[str, np.ndarray] = {}
         self._service_cursor: Dict[str, int] = {}
+        self._last_policy: Optional[KeyedPolicy] = None
+
+    @property
+    def last_policy(self) -> Optional[KeyedPolicy]:
+        """The policy instance built by the most recent :meth:`run`.
+
+        Lets sweeps inspect per-run policy state after the fact — e.g.
+        :attr:`~repro.cluster.schedulers.ShortestJobFirstPolicy.unknown_apps`
+        to assert an estimate table covered the whole trace.
+        """
+        return self._last_policy
 
     def _draw_service_block(self, app_name: str, count: int) -> np.ndarray:
         """Draw ``count`` service times for ``app_name`` from the RNG."""
@@ -232,8 +253,9 @@ class RackSimulation:
         """Simulate ``trace`` and return the measurement series.
 
         ``engine`` selects the execution strategy: ``"event"`` forces the
-        event-driven oracle, ``"vectorized"`` the numpy fast path (FCFS
-        only — non-FCFS policies transparently fall back to the oracle),
+        event-driven oracle, ``"vectorized"`` a fast path (the FCFS
+        busy-period engine or, for keyed policies, the index-priority
+        engine — unsorted traces transparently fall back to the oracle),
         and ``"auto"`` (default) vectorizes whenever it can.
         """
         if sample_interval_seconds <= 0:
@@ -249,9 +271,13 @@ class RackSimulation:
             queue = self._policy_factory.build()
         else:
             queue = FCFSPolicy()
+        self._last_policy = queue
 
-        if engine != "event" and self._vectorizable(queue, trace):
-            return run_vectorized(self, trace, sample_interval_seconds)
+        if engine != "event":
+            if self._vectorizable(queue, trace):
+                return run_vectorized(self, trace, sample_interval_seconds)
+            if self._keyed_vectorizable(queue, trace):
+                return run_keyed(self, queue, trace, sample_interval_seconds)
 
         events = EventQueue()
         busy = 0
@@ -269,9 +295,17 @@ class RackSimulation:
             done = now + service
             events.push(Event(done, on_completion, (request, done)))
 
+        # Queued requests are observed by push; immediate starts are
+        # observed on arrival so coverage accounting (e.g. SJF
+        # unknown_apps) sees every admitted application.  External
+        # policies written against the pre-hook protocol may not
+        # implement observe_app — tolerate its absence.
+        observe_app = getattr(queue, "observe_app", lambda app_name: None)
+
         def on_arrival(payload) -> None:
             request, now = payload
             if busy < self._max_instances:
+                observe_app(request.app_name)
                 start_service(request, now)
             elif len(queue) < self._queue_depth:
                 queue.push(request)
@@ -326,9 +360,26 @@ class RackSimulation:
         )
 
     @staticmethod
-    def _vectorizable(queue, trace: RequestTrace) -> bool:
-        """FCFS over a time-ordered trace is what the fast engine models."""
-        if not isinstance(queue, FCFSPolicy):
-            return False
+    def _time_ordered(trace: RequestTrace) -> bool:
         arrivals = trace.arrival_seconds
         return len(arrivals) == 0 or bool(np.all(np.diff(arrivals) >= 0))
+
+    @staticmethod
+    def _vectorizable(queue, trace: RequestTrace) -> bool:
+        """FCFS over a time-ordered trace is what the fast engine models.
+
+        Exactly :class:`FCFSPolicy`, not subclasses: the busy-period
+        engine has no ``observe_app`` calls, so a subclass carrying a
+        coverage hook routes to the keyed engine instead (same results,
+        the hook honoured).
+        """
+        return type(queue) is FCFSPolicy and RackSimulation._time_ordered(
+            trace
+        )
+
+    @staticmethod
+    def _keyed_vectorizable(queue, trace: RequestTrace) -> bool:
+        """Any priority-key policy routes to the index-priority engine."""
+        return isinstance(queue, KeyedPolicy) and RackSimulation._time_ordered(
+            trace
+        )

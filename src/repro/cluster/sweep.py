@@ -17,8 +17,11 @@ service-sample blocks.  :class:`RackSweep` runs a list of
 Both reuses are bit-exact: a sweep cell produces the same
 :class:`~repro.cluster.simulation.SimulationSeries` it would produce run
 standalone.  The per-figure harnesses (``fig13.sweep``,
-``fig15.run_rack``, ``fig16.run_rack``, ``fig17.run_rack``) are thin
-grids over this module.
+``fig13.policy_sweep``, ``fig15.run_rack``, ``fig16.run_rack``,
+``fig17.run_rack``) are thin grids over this module.  Every policy cell
+runs on a vectorized engine: FCFS on the busy-period kernel, keyed
+policies (sjf / criticality / dag) on the index-priority engine of
+:mod:`repro.cluster.policy_engine`.
 """
 
 from __future__ import annotations
@@ -42,6 +45,40 @@ POLICY_NAMES = ("fcfs", "sjf", "criticality", "dag")
 
 # Sample count for the per-app expected-service estimates SJF sorts by.
 _ESTIMATE_SAMPLES = 256
+
+
+def service_estimates_for(
+    context, platform: str, samples: int = _ESTIMATE_SAMPLES
+) -> Dict[str, float]:
+    """Deterministic per-app expected service times (what SJF sorts by).
+
+    The single definition both :class:`RackSweep` cells and
+    ``scripts/bench_policy.py`` use, so benchmarks time exactly the
+    policy configuration the sweeps run.
+    """
+    model = context.models[platform]
+    return {
+        name: float(
+            np.mean(
+                model.sample_latencies(app, np.random.default_rng(0), samples)
+            )
+        )
+        for name, app in context.applications.items()
+    }
+
+
+def default_criticality_priorities(context) -> Dict[str, int]:
+    """One priority class per application, in alphabetical order.
+
+    A criticality policy needs a non-empty integer priority map; this
+    default is arbitrary but deterministic, so sweep cells genuinely
+    exercise multi-class scheduling.  Pass ``priorities`` to
+    :class:`RackSweep` to rank by real criticality instead.
+    """
+    return {
+        name: rank
+        for rank, name in enumerate(sorted(context.applications))
+    }
 
 
 @dataclass(frozen=True)
@@ -182,6 +219,7 @@ class RackSweep:
         sample_interval_seconds: float = 1.0,
         engine: str = "auto",
         reuse_service_samples: bool = True,
+        priorities: Optional[Dict[str, int]] = None,
     ) -> None:
         self._context = context
         self._envelope = tuple(float(rate) for rate in rate_envelope)
@@ -193,6 +231,7 @@ class RackSweep:
         )
         self._traces: Dict[Tuple[int, float], RequestTrace] = {}
         self._estimates: Dict[str, Dict[str, float]] = {}
+        self._priorities = dict(priorities) if priorities else None
 
     # ------------------------------------------------------------------
     def trace_for(self, seed: int, rate_scale: float) -> RequestTrace:
@@ -211,22 +250,18 @@ class RackSweep:
         return trace
 
     def _service_estimates(self, platform: str) -> Dict[str, float]:
-        """Deterministic per-app expected service times (for SJF)."""
+        """Memoised :func:`service_estimates_for` per platform."""
         estimates = self._estimates.get(platform)
         if estimates is None:
-            model = self._context.models[platform]
-            estimates = {
-                name: float(
-                    np.mean(
-                        model.sample_latencies(
-                            app, np.random.default_rng(0), _ESTIMATE_SAMPLES
-                        )
-                    )
-                )
-                for name, app in self._context.applications.items()
-            }
+            estimates = service_estimates_for(self._context, platform)
             self._estimates[platform] = estimates
         return estimates
+
+    def _criticality_priorities(self) -> Dict[str, int]:
+        """Explicit ``priorities`` or the deterministic default ranking."""
+        if self._priorities is not None:
+            return self._priorities
+        return default_criticality_priorities(self._context)
 
     def _policy_factory(
         self, scenario: RackScenario
@@ -240,7 +275,9 @@ class RackSweep:
                 service_estimates=self._service_estimates(scenario.platform),
             )
         if name == "criticality":
-            return PolicyFactory("criticality", priorities={})
+            return PolicyFactory(
+                "criticality", priorities=self._criticality_priorities()
+            )
         if name == "dag":
             return PolicyFactory(
                 "dag", applications=self._context.applications

@@ -8,7 +8,11 @@ requests, so its latency climbs; DSCS serves the same trace with headroom.
 :func:`run` regenerates the paper's figure; :func:`sweep` fans the same
 study out over a rate-scale x fleet-size x policy grid through
 :mod:`repro.cluster.sweep`, reusing traces and service samples across
-cells.
+cells.  :func:`policy_sweep` (the ``fig13-policy`` experiment) is the
+scheduling-policy study: the same grid crossed with all four policies
+(FCFS and the paper's future-work SJF / criticality / DAG-aware), every
+cell running on a vectorized engine — the busy-period FCFS kernel or the
+index-priority engine of :mod:`repro.cluster.policy_engine`.
 """
 
 from __future__ import annotations
@@ -19,8 +23,14 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.cluster.simulation import RackSimulation, SimulationSeries
-from repro.cluster.sweep import RackSweep, ScenarioResult, scenario_grid
+from repro.cluster.sweep import (
+    POLICY_NAMES,
+    RackSweep,
+    ScenarioResult,
+    scenario_grid,
+)
 from repro.cluster.trace import RequestTrace, TraceGenerator
+from repro.errors import ConfigurationError
 from repro.experiments.common import (
     BASELINE_NAME,
     DSCS_NAME,
@@ -152,6 +162,30 @@ def run(
     ).study
 
 
+def _run_scenario_grid(
+    ctx,
+    rate_scales,
+    max_instances,
+    policies,
+    seed,
+    engine,
+    context=None,
+    priorities=None,
+):
+    """The shared fig13-sweep / fig13-policy runner body."""
+    context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
+    harness = RackSweep(context, engine=engine, priorities=priorities)
+    scenarios = scenario_grid(
+        platforms=context.platform_names,
+        rate_scales=rate_scales,
+        max_instances=max_instances,
+        policies=policies,
+        seed=seed,
+    )
+    results = harness.run(scenarios)
+    return [cell.as_row() for cell in results], results
+
+
 @REGISTRY.experiment(
     name="fig13-sweep",
     description="Fig. 13 as a rate x fleet x policy scenario grid",
@@ -172,17 +206,9 @@ def run(
 def _sweep_experiment(
     ctx, rate_scales, max_instances, policies, seed, engine, context=None
 ):
-    context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
-    harness = RackSweep(context, engine=engine)
-    scenarios = scenario_grid(
-        platforms=context.platform_names,
-        rate_scales=rate_scales,
-        max_instances=max_instances,
-        policies=policies,
-        seed=seed,
+    return _run_scenario_grid(
+        ctx, rate_scales, max_instances, policies, seed, engine, context
     )
-    results = harness.run(scenarios)
-    return [cell.as_row() for cell in results], results
 
 
 def sweep(
@@ -204,6 +230,135 @@ def sweep(
         rate_scales=rate_scales,
         max_instances=max_instances,
         policies=policies,
+        seed=seed,
+        context=context,
+        engine=engine,
+    ).study
+
+
+def _policy_headline(results) -> str:
+    """Which policy wins mean latency on the most loaded baseline cell."""
+    if not results:
+        return ""
+    baseline = [r for r in results if r.scenario.platform == BASELINE_NAME]
+    cells = baseline or list(results)
+    top_rate = max(cell.scenario.rate_scale for cell in cells)
+    min_fleet = min(cell.scenario.max_instances for cell in cells)
+    contested = [
+        cell
+        for cell in cells
+        if cell.scenario.rate_scale == top_rate
+        and cell.scenario.max_instances == min_fleet
+    ]
+    best = min(contested, key=lambda cell: cell.mean_latency_seconds)
+    return (
+        f"best mean latency at rate x{top_rate:g} / {min_fleet} instances: "
+        f"{best.scenario.policy} "
+        f"({best.mean_latency_seconds * 1e3:.1f} ms)"
+    )
+
+
+@REGISTRY.experiment(
+    name="fig13-policy",
+    description=(
+        "Fig. 13 scheduling-policy study: rate x fleet x all four "
+        "policies on the vectorized engines"
+    ),
+    params=(
+        Param("rate_scales", "floats", (0.5, 1.0), "rate-envelope scales"),
+        Param("max_instances", "ints", (100, 200), "fleet sizes"),
+        Param(
+            "policies",
+            "strs",
+            POLICY_NAMES,
+            "scheduling policies (fcfs | sjf | criticality | dag)",
+        ),
+        Param(
+            "priorities",
+            "strs",
+            (),
+            "criticality classes as app=rank pairs "
+            "(default: deterministic alphabetical ranking)",
+        ),
+        Param("seed", "int", 13, "trace + service RNG seed"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={
+        # Congested enough (16 instances under a x0.08 envelope) that the
+        # policies genuinely reorder; seconds-scale on the keyed engine.
+        "fast": {"rate_scales": (0.08,), "max_instances": (16,)},
+        "paper": {"rate_scales": (0.5, 1.0), "max_instances": (100, 200)},
+    },
+    tags=("figure", "rack", "sweep", "policy"),
+    headline=_policy_headline,
+)
+def _policy_experiment(
+    ctx,
+    rate_scales,
+    max_instances,
+    policies,
+    priorities,
+    seed,
+    engine,
+    context=None,
+):
+    return _run_scenario_grid(
+        ctx,
+        rate_scales,
+        max_instances,
+        policies,
+        seed,
+        engine,
+        context,
+        priorities=_parse_priorities(priorities),
+    )
+
+
+def _parse_priorities(pairs: Sequence[str]):
+    """``("app=rank", ...)`` — the CLI form — into a priority map."""
+    if not pairs:
+        return None
+    priorities = {}
+    for pair in pairs:
+        name, separator, rank = str(pair).partition("=")
+        if not separator or not name.strip():
+            raise ConfigurationError(
+                f"bad priority {pair!r}; expected app=rank"
+            )
+        try:
+            priorities[name.strip()] = int(rank)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"bad priority rank in {pair!r}; expected an integer"
+            ) from error
+    return priorities
+
+
+def policy_sweep(
+    rate_scales: Sequence[float] = (0.5, 1.0),
+    max_instances: Sequence[int] = (100, 200),
+    policies: Sequence[str] = POLICY_NAMES,
+    priorities: Sequence[str] = (),
+    seed: int = 13,
+    context: SuiteContext = None,
+    engine: str = "auto",
+) -> List[ScenarioResult]:
+    """The Fig. 13 grid crossed with every scheduling policy.
+
+    FCFS cells run on the busy-period engine, keyed policies (SJF,
+    criticality, DAG-aware) on the index-priority engine — all
+    bit-identical to the event-driven oracle, so the policy comparison
+    is exact, not approximate.  ``priorities`` takes ``"app=rank"``
+    pairs for the criticality cells (default: a deterministic
+    alphabetical ranking).
+    """
+    return REGISTRY.run(
+        "fig13-policy",
+        rate_scales=rate_scales,
+        max_instances=max_instances,
+        policies=policies,
+        priorities=priorities,
         seed=seed,
         context=context,
         engine=engine,

@@ -60,6 +60,23 @@ class TestSJF:
         policy.push(request("known", 1))
         assert policy.pop().app_name == "known"
 
+    def test_unknown_apps_collected_and_logged_once(self, caplog):
+        policy = ShortestJobFirstPolicy({"known": 5.0})
+        with caplog.at_level("WARNING", logger="repro.cluster.schedulers"):
+            policy.push(request("mystery", 0))
+            policy.push(request("mystery", 1))
+            policy.push(request("ghost", 2))
+            policy.push(request("known", 3))
+        assert policy.unknown_apps == ("ghost", "mystery")
+        logged = [r for r in caplog.records if "no service estimate" in r.message]
+        assert len(logged) == 2  # once per unknown app, not per request
+
+    def test_full_coverage_leaves_unknowns_empty(self):
+        policy = ShortestJobFirstPolicy({"a": 1.0, "b": 2.0})
+        policy.push(request("a", 0))
+        policy.push(request("b", 1))
+        assert policy.unknown_apps == ()
+
     def test_rejects_bad_estimates(self):
         with pytest.raises(SchedulingError):
             ShortestJobFirstPolicy({})
@@ -83,6 +100,19 @@ class TestCriticality:
     def test_default_priority_for_unknown(self):
         policy = CriticalityPolicy({"vip": 0}, default_priority=9)
         assert policy.priority_of("stranger") == 9
+
+    def test_empty_priorities_rejected(self):
+        # An empty priority map silently degenerates to FCFS — reject it.
+        with pytest.raises(SchedulingError):
+            CriticalityPolicy({})
+
+    def test_non_integer_priorities_rejected(self):
+        with pytest.raises(SchedulingError):
+            CriticalityPolicy({"vip": 1.5})
+        with pytest.raises(SchedulingError):
+            CriticalityPolicy({"vip": True})
+        with pytest.raises(SchedulingError):
+            CriticalityPolicy({"vip": 0}, default_priority=2.5)
 
 
 class TestDAGAware:
@@ -109,7 +139,8 @@ class TestPolicyFactory:
             ShortestJobFirstPolicy,
         )
         assert isinstance(
-            PolicyFactory("criticality", priorities={}).build(), CriticalityPolicy
+            PolicyFactory("criticality", priorities={"a": 0}).build(),
+            CriticalityPolicy,
         )
         assert isinstance(
             PolicyFactory("dag", applications=suite).build(), DAGAwarePolicy
@@ -122,6 +153,17 @@ class TestPolicyFactory:
     def test_sjf_requires_estimates(self):
         with pytest.raises(SchedulingError):
             PolicyFactory("sjf").build()
+
+    def test_criticality_requires_priorities(self):
+        # No/empty priorities used to silently build a slow FCFS queue.
+        with pytest.raises(SchedulingError):
+            PolicyFactory("criticality").build()
+        with pytest.raises(SchedulingError):
+            PolicyFactory("criticality", priorities={}).build()
+
+    def test_criticality_priorities_must_be_ints(self):
+        with pytest.raises(SchedulingError):
+            PolicyFactory("criticality", priorities={"a": "high"}).build()
 
 
 class TestPoliciesAtScale:

@@ -1,0 +1,152 @@
+"""The priority-key core: PolicyKey validation and the KeyedQueue."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.policy_keys import (
+    KeyedQueue,
+    PolicyKey,
+    criticality_key,
+    dag_key,
+    fcfs_key,
+    sjf_key,
+)
+from repro.errors import SchedulingError
+from repro.experiments.benchmarks import benchmark_suite
+
+
+class TestPolicyKey:
+    def test_key_for_known_and_default(self):
+        key = PolicyKey("demo", {"a": (1.0,), "b": (2.0,)}, (9.0,))
+        assert key.key_for("a") == (1.0,)
+        assert key.key_for("zzz") == (9.0,)
+        assert key.knows("a") and not key.knows("zzz")
+        assert key.width == 1
+
+    def test_rejects_mismatched_widths(self):
+        with pytest.raises(SchedulingError):
+            PolicyKey("demo", {"a": (1.0, 2.0)}, (0.0,))
+
+    def test_rejects_nan_components(self):
+        with pytest.raises(SchedulingError):
+            PolicyKey("demo", {"a": (float("nan"),)}, (0.0,))
+
+    def test_rejects_nan_default_key(self):
+        with pytest.raises(SchedulingError):
+            PolicyKey("demo", {"a": (1.0,)}, (float("nan"),))
+
+    def test_infinite_default_key_allowed(self):
+        # SJF's unknown-app default is +inf: totally ordered, unlike NaN.
+        key = PolicyKey("demo", {"a": (1.0,)}, (float("inf"),))
+        assert key.key_for("a") < key.key_for("zzz")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchedulingError):
+            PolicyKey("", {}, ())
+
+
+class TestKeyBuilders:
+    def test_fcfs_key_is_pure_sequence_order(self):
+        key = fcfs_key()
+        assert key.width == 0
+        assert key.key_for("anything") == ()
+
+    def test_sjf_key_orders_by_estimate(self):
+        key = sjf_key({"fast": 0.1, "slow": 2.0})
+        assert key.key_for("fast") < key.key_for("slow")
+        assert key.key_for("mystery") == (float("inf"),)
+
+    def test_sjf_key_validation(self):
+        with pytest.raises(SchedulingError):
+            sjf_key({})
+        with pytest.raises(SchedulingError):
+            sjf_key({"a": -1.0})
+
+    def test_criticality_key_validation(self):
+        with pytest.raises(SchedulingError):
+            criticality_key({})
+        with pytest.raises(SchedulingError):
+            criticality_key({"a": 1.5})
+        with pytest.raises(SchedulingError):
+            criticality_key({"a": True})
+        with pytest.raises(SchedulingError):
+            criticality_key({"a": 0}, default_priority=0.5)
+
+    def test_dag_key_prefers_deeper_pipelines(self):
+        suite = benchmark_suite()
+        key = dag_key(suite)
+        deep = max(
+            suite, key=lambda name: len(suite[name].accelerated_functions)
+        )
+        shallow = min(
+            suite, key=lambda name: len(suite[name].accelerated_functions)
+        )
+        assert key.key_for(deep) <= key.key_for(shallow)
+        with pytest.raises(SchedulingError):
+            dag_key({})
+
+
+class TestKeyedQueue:
+    def test_pops_in_key_order(self):
+        queue = KeyedQueue()
+        for seq, key in enumerate([(3.0,), (1.0,), (2.0,)]):
+            queue.push(key + (seq,), f"item{seq}")
+        assert [queue.pop() for _ in range(3)] == ["item1", "item2", "item0"]
+
+    def test_ties_break_by_trailing_sequence(self):
+        queue = KeyedQueue()
+        queue.push((1.0, 7), "later")
+        queue.push((1.0, 3), "earlier")
+        assert queue.pop() == "earlier"
+
+    def test_len_and_bool(self):
+        queue = KeyedQueue()
+        assert not queue and len(queue) == 0
+        queue.push((1.0, 0), "x")
+        assert queue and len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            KeyedQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        queue = KeyedQueue()
+        queue.push((2.0, 0), "b")
+        queue.push((1.0, 1), "a")
+        assert queue.peek() == "a"
+        assert len(queue) == 2
+        assert KeyedQueue().peek() is None
+
+    def test_lazy_cancellation(self):
+        queue = KeyedQueue()
+        handle = queue.push((1.0, 0), "doomed")
+        queue.push((2.0, 1), "survivor")
+        queue.cancel(handle)
+        assert handle.cancelled
+        assert len(queue) == 1
+        assert queue.peek() == "survivor"
+        assert queue.pop() == "survivor"
+        # Cancelling twice is a no-op, not a double decrement.
+        queue.cancel(handle)
+        assert len(queue) == 0
+
+    def test_randomized_against_sorted_reference(self):
+        rng = np.random.default_rng(7)
+        queue = KeyedQueue()
+        reference = []
+        popped = []
+        expected = []
+        for seq in range(400):
+            if reference and rng.random() < 0.4:
+                expected.append(min(reference)[1])
+                reference.remove(min(reference))
+                popped.append(queue.pop())
+            else:
+                key = (float(rng.integers(0, 5)), seq)
+                queue.push(key, seq)
+                reference.append((key, seq))
+        while reference:
+            expected.append(min(reference)[1])
+            reference.remove(min(reference))
+            popped.append(queue.pop())
+        assert popped == expected

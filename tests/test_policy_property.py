@@ -1,0 +1,103 @@
+"""Property tests: heap-backed policies == the old linear-min policies.
+
+The scheduling refactor replaced the imperative ``min(queue) +
+list.remove`` policies with :class:`~repro.cluster.schedulers.KeyedPolicy`
+instances over a heap-backed :class:`~repro.cluster.policy_keys.KeyedQueue`.
+The *old* implementations are kept verbatim in
+:mod:`repro.cluster.linear_policies` as reference oracles; randomized
+push/pop streams must pop in exactly the same order from both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.linear_policies import (
+    LinearCriticalityPolicy as LinearCriticality,
+    LinearDAGAwarePolicy as LinearDAGAware,
+    LinearFCFSPolicy as LinearFCFS,
+    LinearShortestJobFirstPolicy as LinearSJF,
+)
+from repro.cluster.schedulers import (
+    CriticalityPolicy,
+    DAGAwarePolicy,
+    FCFSPolicy,
+    QueuedRequest,
+    ShortestJobFirstPolicy,
+)
+from repro.experiments.benchmarks import benchmark_suite
+
+# ---------------------------------------------------------------------------
+# The randomized push/pop equivalence property.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return benchmark_suite()
+
+
+def policy_pairs(suite, estimates, priorities):
+    """(new heap-backed policy, old linear oracle) pairs, freshly built."""
+    return [
+        (FCFSPolicy(), LinearFCFS()),
+        (ShortestJobFirstPolicy(estimates), LinearSJF(estimates)),
+        (
+            CriticalityPolicy(priorities, default_priority=7),
+            LinearCriticality(priorities, default_priority=7),
+        ),
+        (DAGAwarePolicy(suite), LinearDAGAware(suite)),
+    ]
+
+
+def random_stream(rng, apps, length):
+    """A random interleaving of pushes and pops (never popping empty)."""
+    ops = []
+    depth = 0
+    for seq in range(length):
+        if depth and rng.random() < 0.45:
+            ops.append(("pop", None))
+            depth -= 1
+        else:
+            app = apps[int(rng.integers(0, len(apps)))]
+            ops.append(("push", QueuedRequest(float(seq), app, seq)))
+            depth += 1
+    ops.extend(("pop", None) for _ in range(depth))
+    return ops
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_heap_policies_match_linear_oracles(suite, seed):
+    rng = np.random.default_rng(seed)
+    # Mix known apps with strangers so default keys are exercised, and
+    # collide estimates/priorities so tie-breaks are exercised too.
+    apps = list(suite)[:4] + ["stranger-a", "stranger-b"]
+    estimates = {apps[0]: 0.5, apps[1]: 0.5, apps[2]: 2.0}
+    priorities = {apps[0]: 0, apps[1]: 3, apps[2]: 3}
+    stream = random_stream(rng, apps, length=600)
+    for new_policy, oracle in policy_pairs(suite, estimates, priorities):
+        for op, request in stream:
+            if op == "push":
+                new_policy.push(request)
+                oracle.push(request)
+            else:
+                assert new_policy.pop() == oracle.pop()
+            assert len(new_policy) == len(oracle)
+
+
+def test_bursty_pop_storms_match(suite):
+    """Long push phases followed by full drains (worst case for min+remove)."""
+    estimates = {name: float(i + 1) for i, name in enumerate(suite)}
+    priorities = {name: i % 3 for i, name in enumerate(suite)}
+    rng = np.random.default_rng(99)
+    apps = list(suite)
+    seq = 0
+    for new_policy, oracle in policy_pairs(suite, estimates, priorities):
+        for _ in range(3):
+            for _ in range(150):
+                app = apps[int(rng.integers(0, len(apps)))]
+                request = QueuedRequest(float(seq), app, seq)
+                new_policy.push(request)
+                oracle.push(request)
+                seq += 1
+            while len(oracle):
+                assert new_policy.pop() == oracle.pop()
