@@ -12,8 +12,23 @@ DAG-aware) on the index-priority engine
 (:mod:`repro.cluster.policy_engine`), both enforced against the
 event-driven oracle; :mod:`repro.cluster.sweep` fans scenario grids out
 over shared traces and service samples.
+
+Fault injection rides on top: a seeded
+:class:`~repro.cluster.faults.FaultSchedule` (instance crashes,
+correlated node outages, slowdown spikes) and a
+:class:`~repro.cluster.faults.RetryPolicy` (queue timeouts, bounded
+retries with backoff + jitter, hedged dispatch) perturb any simulation
+deterministically; the chaos engines in
+:mod:`repro.cluster.chaos_engine` are bit-identical to each other and
+degrade to the fault-free engines when the schedule is inert.
 """
 
+from repro.cluster.faults import (
+    DROP_REASONS,
+    FaultSchedule,
+    FaultTimeline,
+    RetryPolicy,
+)
 from repro.cluster.policy_keys import (
     KeyedQueue,
     PolicyKey,
@@ -47,7 +62,11 @@ from repro.cluster.trace import RequestTrace, TraceGenerator
 __all__ = [
     "CriticalityPolicy",
     "DAGAwarePolicy",
+    "DROP_REASONS",
     "FCFSPolicy",
+    "FaultSchedule",
+    "FaultTimeline",
+    "RetryPolicy",
     "KeyedPolicy",
     "KeyedQueue",
     "PolicyFactory",

@@ -230,6 +230,7 @@ def run_vectorized(
     completion_times = np.empty(n)
     admitted = np.zeros(n, dtype=bool)
     dropped = 0
+    drop_times: List[float] = []
 
     avail: List[float] = [0.0] * c  # heap of server-free times
     pending: List[float] = []  # heap of in-system completion times
@@ -250,6 +251,7 @@ def run_vectorized(
         if in_system >= serial_threshold:
             if in_system >= capacity:
                 dropped += 1  # busy == c and the queue is full
+                drop_times.append(now)
                 i += 1
                 continue
             service = sim._service_time(app_names[app_ids[i]])
@@ -352,6 +354,7 @@ def run_vectorized(
         i += committed
         if drop_after:
             dropped += 1
+            drop_times.append(arrivals_list[i])
             i += 1
         if committed == m:
             chunk_size = min(chunk_size * 2, _CHUNK_MAX)
@@ -394,4 +397,6 @@ def run_vectorized(
         completed_times=completed_times,
         dropped_requests=dropped,
         total_requests=n,
+        dropped_times=np.asarray(drop_times),
+        dropped_reasons=np.zeros(len(drop_times), dtype=np.int8),
     )

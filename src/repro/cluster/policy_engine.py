@@ -97,6 +97,7 @@ def run_keyed(
     pending: List[float] = []
     queue: List[tuple] = []
     dropped = 0
+    drop_times: List[float] = []
 
     # Start log, appended in start (chronological event) order — the
     # order the oracle pushes completion events, draws service samples,
@@ -197,6 +198,7 @@ def run_keyed(
             queued_arrivals.append(now)
         else:
             dropped += 1
+            drop_times.append(now)
         i += 1
 
     # ---- Drain: serve the backlog in pure key order -----------------
@@ -238,4 +240,6 @@ def run_keyed(
         completed_times=completed_times,
         dropped_requests=dropped,
         total_requests=n,
+        dropped_times=np.asarray(drop_times),
+        dropped_reasons=np.zeros(len(drop_times), dtype=np.int8),
     )

@@ -27,12 +27,18 @@ oracle, which remains the fallback for unsorted traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.cluster.fast_engine import run_vectorized, sample_tick_times
+from repro.cluster.faults import (
+    DROP_REASONS,
+    FaultSchedule,
+    FaultTimeline,
+    RetryPolicy,
+)
 from repro.cluster.policy_engine import run_keyed
 from repro.cluster.schedulers import (
     FCFSPolicy,
@@ -100,9 +106,26 @@ class ServiceSampleCache:
         return values
 
 
+def _empty_float_array() -> np.ndarray:
+    return np.empty(0)
+
+
+def _empty_reason_array() -> np.ndarray:
+    return np.empty(0, dtype=np.int8)
+
+
 @dataclass
 class SimulationSeries:
-    """Time-series outputs of one rack simulation (Fig. 13 b-d)."""
+    """Time-series outputs of one rack simulation (Fig. 13 b-d).
+
+    Beyond the Fig. 13 series, each run carries availability telemetry:
+    per-drop times and reason codes (indices into
+    :data:`~repro.cluster.faults.DROP_REASONS`) and the chaos counters
+    (retries injected, timeouts fired, in-flight requests killed by
+    crashes, hedges launched/won).  Fault-free runs report all-zero
+    counters and every drop as ``queue_full`` — the only loss mode a
+    perfect fleet has.
+    """
 
     sample_times: np.ndarray
     queue_depth: np.ndarray
@@ -111,6 +134,13 @@ class SimulationSeries:
     completed_times: np.ndarray
     dropped_requests: int
     total_requests: int
+    dropped_times: np.ndarray = field(default_factory=_empty_float_array)
+    dropped_reasons: np.ndarray = field(default_factory=_empty_reason_array)
+    retries: int = 0
+    timeouts: int = 0
+    crash_kills: int = 0
+    hedges_launched: int = 0
+    hedge_wins: int = 0
 
     def mean_latency_per_bucket(self, bucket_seconds: float = 60.0) -> np.ndarray:
         """Average request latency per time bucket (Fig. 13 c/d)."""
@@ -142,6 +172,11 @@ class SimulationSeries:
         return (
             self.dropped_requests == other.dropped_requests
             and self.total_requests == other.total_requests
+            and self.retries == other.retries
+            and self.timeouts == other.timeouts
+            and self.crash_kills == other.crash_kills
+            and self.hedges_launched == other.hedges_launched
+            and self.hedge_wins == other.hedge_wins
             and np.array_equal(self.sample_times, other.sample_times)
             and np.array_equal(self.queue_depth, other.queue_depth)
             and np.array_equal(self.busy_instances, other.busy_instances)
@@ -150,7 +185,76 @@ class SimulationSeries:
                 other.completed_latency_seconds,
             )
             and np.array_equal(self.completed_times, other.completed_times)
+            and np.array_equal(self.dropped_times, other.dropped_times)
+            and np.array_equal(self.dropped_reasons, other.dropped_reasons)
         )
+
+    def drop_breakdown(self) -> Dict[str, int]:
+        """Drops by reason (``queue_full`` / ``timeout`` / ``crashed``).
+
+        Always sums to :attr:`dropped_requests` — runs predating the
+        per-reason record (empty ``dropped_reasons`` with a non-zero
+        total) report everything as ``queue_full``, the only loss mode
+        the fault-free simulator had.
+        """
+        counts = dict.fromkeys(DROP_REASONS, 0)
+        if len(self.dropped_reasons):
+            for code, count in zip(
+                *np.unique(self.dropped_reasons, return_counts=True)
+            ):
+                counts[DROP_REASONS[int(code)]] = int(count)
+        else:
+            counts[DROP_REASONS[0]] = self.dropped_requests
+        return counts
+
+    @property
+    def availability(self) -> float:
+        """Fraction of trace requests that eventually completed."""
+        if self.total_requests == 0:
+            return 1.0
+        return len(self.completed_latency_seconds) / self.total_requests
+
+    @property
+    def goodput_rps(self) -> float:
+        """Completed requests per second of simulated wall clock."""
+        horizon = self.wall_clock_seconds
+        if horizon <= 0:
+            return 0.0
+        return len(self.completed_latency_seconds) / horizon
+
+    def availability_per_bucket(
+        self, bucket_seconds: float = 60.0
+    ) -> np.ndarray:
+        """Per-bucket ``completed / (completed + dropped)`` fraction.
+
+        Buckets with no terminating requests report NaN — no request
+        ended there, so availability is undefined rather than perfect.
+        """
+        if bucket_seconds <= 0:
+            raise ConfigurationError(f"non-positive bucket: {bucket_seconds}")
+        horizon = 0.0
+        for times in (self.completed_times, self.dropped_times, self.sample_times):
+            if len(times):
+                horizon = max(horizon, float(times.max()))
+        if horizon <= 0:
+            return np.array([])
+        buckets = max(1, int(np.ceil(horizon / bucket_seconds)))
+        completed = np.zeros(buckets)
+        ended = np.zeros(buckets)
+        for times, target in (
+            (self.completed_times, completed),
+            (self.dropped_times, None),
+        ):
+            if len(times) == 0:
+                continue
+            indices = np.minimum(
+                (times / bucket_seconds).astype(int), buckets - 1
+            )
+            np.add.at(ended, indices, 1)
+            if target is not None:
+                np.add.at(target, indices, 1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(ended > 0, completed / np.maximum(ended, 1), np.nan)
 
     @property
     def wall_clock_seconds(self) -> float:
@@ -184,6 +288,8 @@ class RackSimulation:
         policy: Optional[PolicyFactory] = None,
         cold: bool = False,
         sample_cache: Optional[ServiceSampleCache] = None,
+        faults: Optional[FaultSchedule] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if max_instances <= 0:
             raise ConfigurationError(f"non-positive instances: {max_instances}")
@@ -197,6 +303,8 @@ class RackSimulation:
         self._policy_factory = policy
         self._cold = cold
         self._sample_cache = sample_cache
+        self._faults = faults
+        self._retry = retry
         self._service_samples: Dict[str, np.ndarray] = {}
         self._service_cursor: Dict[str, int] = {}
         self._last_policy: Optional[KeyedPolicy] = None
@@ -273,6 +381,33 @@ class RackSimulation:
             queue = FCFSPolicy()
         self._last_policy = queue
 
+        if self._chaos_active():
+            # Fault injection / retry changes the dynamics, so inert
+            # configurations must NOT route here: a no-op schedule plus
+            # a no-op retry policy reproduces today's engines (and their
+            # benchmark hashes) bit for bit by construction.
+            from repro.cluster.chaos_engine import (
+                run_chaos_event,
+                run_chaos_vectorized,
+            )
+
+            if not isinstance(queue, KeyedPolicy):
+                raise ConfigurationError(
+                    "fault injection requires a keyed policy (one built "
+                    "on repro.cluster.policy_keys.PolicyKey); got "
+                    f"{type(queue).__name__}"
+                )
+            timeline = self._fault_timeline(trace)
+            retry = self._retry if self._retry is not None else RetryPolicy()
+            if engine != "event" and self._time_ordered(trace):
+                return run_chaos_vectorized(
+                    self, queue, trace, sample_interval_seconds,
+                    timeline, retry,
+                )
+            return run_chaos_event(
+                self, queue, trace, sample_interval_seconds, timeline, retry
+            )
+
         if engine != "event":
             if self._vectorizable(queue, trace):
                 return run_vectorized(self, trace, sample_interval_seconds)
@@ -282,6 +417,7 @@ class RackSimulation:
         events = EventQueue()
         busy = 0
         dropped = 0
+        drop_times: List[float] = []
         latencies: List[float] = []
         completion_times: List[float] = []
         sample_times: List[float] = []
@@ -312,6 +448,7 @@ class RackSimulation:
             else:
                 nonlocal dropped
                 dropped += 1
+                drop_times.append(now)
 
         def on_completion(payload) -> None:
             nonlocal busy
@@ -357,6 +494,22 @@ class RackSimulation:
             completed_times=np.array(completion_times),
             dropped_requests=dropped,
             total_requests=len(trace),
+            dropped_times=np.array(drop_times),
+            dropped_reasons=np.zeros(len(drop_times), dtype=np.int8),
+        )
+
+    def _chaos_active(self) -> bool:
+        """Whether faults or the retry layer perturb this simulation."""
+        return (self._faults is not None and self._faults.active) or (
+            self._retry is not None and self._retry.active
+        )
+
+    def _fault_timeline(self, trace: RequestTrace) -> FaultTimeline:
+        """Materialize the fault schedule over the trace horizon."""
+        if self._faults is None:
+            return FaultTimeline.empty(self._max_instances)
+        return self._faults.materialize(
+            self._max_instances, trace.duration_seconds
         )
 
     @staticmethod

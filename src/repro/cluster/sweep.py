@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.faults import DROP_REASONS, FaultSchedule, RetryPolicy
 from repro.cluster.schedulers import PolicyFactory
 from repro.cluster.simulation import (
     RackSimulation,
@@ -92,6 +93,8 @@ class RackScenario:
     queue_depth: int = 10_000
     cold: bool = False
     seed: int = 13
+    faults: Optional[FaultSchedule] = None
+    retry: Optional[RetryPolicy] = None
 
     def label(self) -> str:
         parts = [
@@ -102,6 +105,10 @@ class RackScenario:
         ]
         if self.cold:
             parts.append("cold")
+        if self.faults is not None and self.faults.active:
+            parts.append("faults")
+        if self.retry is not None and self.retry.active:
+            parts.append("retry")
         return " | ".join(parts)
 
 
@@ -144,9 +151,29 @@ class ScenarioResult:
         total = self.series.total_requests
         return self.series.dropped_requests / total if total else 0.0
 
+    def _availability_columns(self) -> Dict[str, object]:
+        """Per-reason drop breakdown plus availability telemetry.
+
+        Always present (zeros under a fault-free run) so every row of a
+        sweep table carries the same keys whether or not the cell was
+        perturbed — the report writers require rectangular tables.
+        """
+        breakdown = self.series.drop_breakdown()
+        columns: Dict[str, object] = {
+            f"dropped_{reason}": breakdown.get(reason, 0)
+            for reason in DROP_REASONS
+        }
+        columns["availability"] = round(self.series.availability, 6)
+        columns["retries"] = self.series.retries
+        columns["timeouts"] = self.series.timeouts
+        columns["crash_kills"] = self.series.crash_kills
+        columns["hedges_launched"] = self.series.hedges_launched
+        columns["hedge_wins"] = self.series.hedge_wins
+        return columns
+
     def summary(self) -> Dict[str, object]:
         """Flat dict for tables / JSON records."""
-        return {
+        row = {
             "scenario": self.scenario.label(),
             "requests": self.series.total_requests,
             "mean_latency_s": round(self.mean_latency_seconds, 6),
@@ -156,6 +183,8 @@ class ScenarioResult:
             "dropped": self.dropped_requests,
             "wall_clock_s": round(self.series.wall_clock_seconds, 3),
         }
+        row.update(self._availability_columns())
+        return row
 
     def as_row(self) -> Dict[str, object]:
         """Structured record: scenario knobs as columns, then metrics.
@@ -165,7 +194,7 @@ class ScenarioResult:
         experiment registry serialises.
         """
         scenario = self.scenario
-        return {
+        row = {
             "platform": scenario.platform,
             "rate_scale": scenario.rate_scale,
             "max_instances": scenario.max_instances,
@@ -179,6 +208,8 @@ class ScenarioResult:
             "dropped": self.dropped_requests,
             "wall_clock_s": round(self.series.wall_clock_seconds, 3),
         }
+        row.update(self._availability_columns())
+        return row
 
 
 def scenario_grid(
@@ -189,6 +220,8 @@ def scenario_grid(
     queue_depth: int = 10_000,
     cold: bool = False,
     seed: int = 13,
+    faults: Optional[FaultSchedule] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[RackScenario]:
     """The full cross product, ordered platform-major for cache locality."""
     return [
@@ -200,6 +233,8 @@ def scenario_grid(
             queue_depth=queue_depth,
             cold=cold,
             seed=seed,
+            faults=faults,
+            retry=retry,
         )
         for platform in platforms
         for rate_scale in rate_scales
@@ -312,6 +347,8 @@ class RackSweep:
             policy=self._policy_factory(scenario),
             cold=scenario.cold,
             sample_cache=cache,
+            faults=scenario.faults,
+            retry=scenario.retry,
         )
         if trace is None:
             trace = self.trace_for(scenario.seed, scenario.rate_scale)

@@ -383,6 +383,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig15",
     "repro.experiments.fig16",
     "repro.experiments.fig17",
+    "repro.experiments.chaos",
 )
 
 

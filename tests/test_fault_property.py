@@ -1,0 +1,176 @@
+"""Conservation and degradation properties of the fault layer.
+
+Whatever the fault schedule does, requests are conserved: every arrival
+either completes or is dropped for exactly one recorded reason, in both
+engines, for every seed.  And a schedule that injects nothing must leave
+the simulation exactly as it found it — bit for bit, not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import (
+    DROP_REASONS,
+    FaultSchedule,
+    RetryPolicy,
+)
+from repro.cluster.simulation import RackSimulation
+from repro.cluster.trace import TraceGenerator
+from repro.core.model import ServerlessExecutionModel
+from repro.experiments.benchmarks import benchmark_suite
+from repro.platforms.registry import baseline_cpu
+
+SEEDS = (1, 2, 3, 4, 5)
+ENGINES = ("event", "vectorized")
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return benchmark_suite()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ServerlessExecutionModel(platform=baseline_cpu())
+
+
+def make_trace(suite, scale, seed):
+    generator = TraceGenerator(
+        list(suite),
+        rate_envelope=tuple(rate * scale for rate in (250, 800, 250)),
+        segment_seconds=20.0,
+    )
+    return generator.generate(np.random.default_rng(seed))
+
+
+def random_chaos_config(seed):
+    """A randomized-but-seeded fault + retry configuration."""
+    rng = np.random.default_rng(seed)
+    faults = FaultSchedule(
+        instance_mtbf_seconds=float(rng.uniform(60.0, 300.0)),
+        instance_mttr_seconds=float(rng.uniform(5.0, 30.0)),
+        node_outage_mtbf_seconds=float(rng.uniform(120.0, 600.0)),
+        node_mttr_seconds=float(rng.uniform(10.0, 60.0)),
+        node_size=int(rng.integers(1, 4)),
+        slowdown_rate_per_minute=float(rng.uniform(0.0, 4.0)),
+        slowdown_multiplier=float(rng.uniform(1.5, 3.0)),
+        slowdown_duration_seconds=float(rng.uniform(2.0, 10.0)),
+        seed=int(rng.integers(0, 2**31)),
+    )
+    retry = RetryPolicy(
+        timeout_seconds=float(rng.uniform(1.0, 5.0)),
+        max_retries=int(rng.integers(0, 4)),
+        backoff_base_seconds=float(rng.uniform(0.05, 0.5)),
+        backoff_cap_seconds=float(rng.uniform(1.0, 5.0)),
+        jitter=float(rng.uniform(0.0, 1.0)),
+        hedge_after_seconds=float(rng.uniform(0.1, 1.0)),
+    )
+    return faults, retry
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_requests_are_conserved_under_random_chaos(
+    suite, model, engine, seed
+):
+    """arrivals == completions + drops, and every drop has a reason."""
+    faults, retry = random_chaos_config(seed)
+    trace = make_trace(suite, 0.05, seed)
+    series = RackSimulation(
+        model,
+        suite,
+        max_instances=3,
+        queue_depth=25,
+        seed=seed,
+        faults=faults,
+        retry=retry,
+    ).run(trace, engine=engine)
+
+    completed = len(series.completed_latency_seconds)
+    assert completed + series.dropped_requests == len(trace)
+    assert series.total_requests == len(trace)
+
+    breakdown = series.drop_breakdown()
+    assert set(breakdown) <= set(DROP_REASONS)
+    assert sum(breakdown.values()) == series.dropped_requests
+    assert len(series.dropped_times) == series.dropped_requests
+    assert len(series.dropped_reasons) == series.dropped_requests
+    if series.dropped_requests:
+        assert int(series.dropped_reasons.min()) >= 0
+        assert int(series.dropped_reasons.max()) < len(DROP_REASONS)
+
+    assert 0.0 <= series.availability <= 1.0
+    assert series.timeouts >= breakdown.get("timeout", 0)
+    assert series.crash_kills >= breakdown.get("crashed", 0)
+
+    # Per-bucket availability is a refinement of the total: terminating
+    # requests distribute over buckets without loss.
+    buckets = series.availability_per_bucket(60.0)
+    assert np.all((buckets[~np.isnan(buckets)] >= 0.0))
+    assert np.all((buckets[~np.isnan(buckets)] <= 1.0))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_latencies_stay_finite_and_positive_under_chaos(
+    suite, model, seed
+):
+    faults, retry = random_chaos_config(seed + 100)
+    trace = make_trace(suite, 0.05, seed)
+    series = RackSimulation(
+        model,
+        suite,
+        max_instances=3,
+        queue_depth=25,
+        seed=seed,
+        faults=faults,
+        retry=retry,
+    ).run(trace, engine="vectorized")
+    latencies = series.completed_latency_seconds
+    assert np.all(np.isfinite(latencies))
+    assert np.all(latencies > 0)
+    assert np.all(np.isfinite(series.dropped_times))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_zero_fault_schedule_is_bit_exact_no_op(suite, model, engine, seed):
+    """Inert fault/retry objects reproduce today's engines exactly."""
+    trace = make_trace(suite, 0.05, seed)
+
+    def run(**kwargs):
+        sim = RackSimulation(
+            model, suite, max_instances=4, seed=seed, **kwargs
+        )
+        series = sim.run(trace, engine=engine)
+        return series, repr(sim._rng.bit_generator.state)
+
+    plain, plain_rng = run()
+    inert, inert_rng = run(faults=FaultSchedule(), retry=RetryPolicy())
+    assert inert.identical_to(plain)
+    assert inert_rng == plain_rng
+    assert inert.retries == 0
+    assert inert.timeouts == 0
+    assert inert.crash_kills == 0
+    assert inert.hedges_launched == 0
+
+
+def test_min_capacity_floor_is_respected(suite, model):
+    """Even under absurd churn the fleet never drops below the floor —
+    the modelled system degrades, it does not vanish (paper §5.3)."""
+    faults = FaultSchedule(
+        instance_mtbf_seconds=5.0,
+        instance_mttr_seconds=1000.0,
+        min_capacity=2,
+        seed=3,
+    )
+    timeline = faults.materialize(max_instances=4, horizon_seconds=1200.0)
+    assert timeline.initial_capacity == 4
+    assert len(timeline.times)  # churn this heavy certainly fires
+    assert int(timeline.capacities.min()) >= 2
+    # And the simulation still terminates with conservation intact.
+    trace = make_trace(suite, 0.02, 1)
+    series = RackSimulation(
+        model, suite, max_instances=4, seed=1, faults=faults
+    ).run(trace)
+    completed = len(series.completed_latency_seconds)
+    assert completed + series.dropped_requests == len(trace)

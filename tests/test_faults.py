@@ -1,0 +1,281 @@
+"""Unit behaviour of the fault-injection primitives.
+
+Validation discipline mirrors ``repro.network.rpc``: every knob is
+checked in ``__post_init__`` and misconfiguration raises
+:class:`~repro.errors.ConfigurationError` at construction time, not
+mid-simulation.  Timeline materialization is a pure function of the
+schedule's own seed with documented structural invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import (
+    DROP_REASONS,
+    FaultSchedule,
+    FaultTimeline,
+    RetryPolicy,
+)
+from repro.cluster.simulation import RackSimulation
+from repro.cluster.trace import TraceGenerator
+from repro.core.model import ServerlessExecutionModel
+from repro.errors import ConfigurationError
+from repro.experiments.benchmarks import benchmark_suite
+from repro.platforms.registry import baseline_cpu
+
+
+class TestRetryPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {"timeout_seconds": 0.0},
+            {"timeout_seconds": -1.0},
+            {"max_retries": -1},
+            {"backoff_base_seconds": -0.1},
+            {"backoff_cap_seconds": -1.0},
+            {"jitter": -0.01},
+            {"jitter": 1.01},
+            {"hedge_after_seconds": 0.0},
+            {"hedge_after_seconds": -2.0},
+        ),
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_default_policy_is_inert(self):
+        assert not RetryPolicy().active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {"timeout_seconds": 1.0},
+            {"max_retries": 1},
+            {"hedge_after_seconds": 0.5},
+        ),
+    )
+    def test_any_enabled_feature_activates(self, kwargs):
+        assert RetryPolicy(**kwargs).active
+
+
+class TestBackoff:
+    def test_deterministic(self):
+        policy = RetryPolicy(max_retries=3)
+        assert policy.backoff_seconds(17, 1) == policy.backoff_seconds(17, 1)
+        # Distinct (sequence, attempt) pairs jitter independently.
+        assert policy.backoff_seconds(17, 1) != policy.backoff_seconds(18, 1)
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff_base_seconds=0.5, jitter=0.0
+        )
+        assert policy.backoff_seconds(0, 0) == 0.5
+        assert policy.backoff_seconds(0, 1) == 1.0
+        assert policy.backoff_seconds(0, 2) == 2.0
+
+    def test_cap_bounds_growth(self):
+        policy = RetryPolicy(
+            max_retries=10,
+            backoff_base_seconds=1.0,
+            backoff_cap_seconds=4.0,
+            jitter=0.0,
+        )
+        assert policy.backoff_seconds(0, 9) == 4.0
+
+    def test_jitter_range(self):
+        policy = RetryPolicy(
+            max_retries=3, backoff_base_seconds=1.0, jitter=0.5
+        )
+        for sequence in range(50):
+            delay = policy.backoff_seconds(sequence, 0)
+            assert 0.5 <= delay < 1.0
+
+    def test_jitter_seed_changes_delays(self):
+        a = RetryPolicy(max_retries=1, jitter_seed=1)
+        b = RetryPolicy(max_retries=1, jitter_seed=2)
+        assert a.backoff_seconds(0, 0) != b.backoff_seconds(0, 0)
+
+
+class TestFaultScheduleValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {"instance_mtbf_seconds": 0.0},
+            {"instance_mtbf_seconds": -5.0},
+            {"instance_mttr_seconds": 0.0},
+            {"node_outage_mtbf_seconds": -1.0},
+            {"node_mttr_seconds": -1.0},
+            {"node_size": 0},
+            {"slowdown_rate_per_minute": -0.5},
+            {"slowdown_multiplier": 0.0},
+            {"slowdown_duration_seconds": 0.0},
+            {"min_capacity": 0},
+        ),
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(**kwargs)
+
+    def test_default_schedule_is_inert(self):
+        assert not FaultSchedule().active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {"instance_mtbf_seconds": 100.0},
+            {"node_outage_mtbf_seconds": 100.0},
+            {"slowdown_rate_per_minute": 1.0},
+        ),
+    )
+    def test_any_enabled_process_activates(self, kwargs):
+        assert FaultSchedule(**kwargs).active
+
+    def test_materialize_rejects_bad_fleet(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().materialize(0, 100.0)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().materialize(4, -1.0)
+
+
+class TestFaultTimeline:
+    def test_empty_timeline(self):
+        timeline = FaultTimeline.empty(8)
+        assert timeline.empty_timeline
+        assert timeline.capacity_at(0.0) == 8
+        assert timeline.multiplier_at(5.0) == 1.0
+
+    def test_inert_schedule_materializes_empty(self):
+        assert FaultSchedule().materialize(16, 1200.0).empty_timeline
+
+    def test_materialization_is_seed_deterministic(self):
+        schedule = FaultSchedule(instance_mtbf_seconds=60.0, seed=5)
+        a = schedule.materialize(8, 600.0)
+        b = schedule.materialize(8, 600.0)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.capacities, b.capacities)
+        other = FaultSchedule(instance_mtbf_seconds=60.0, seed=6)
+        assert not np.array_equal(
+            other.materialize(8, 600.0).times, a.times
+        )
+
+    def test_capacity_structural_invariants(self):
+        schedule = FaultSchedule(
+            instance_mtbf_seconds=30.0,
+            instance_mttr_seconds=20.0,
+            node_outage_mtbf_seconds=90.0,
+            node_mttr_seconds=40.0,
+            node_size=3,
+            min_capacity=2,
+            seed=9,
+        )
+        timeline = schedule.materialize(8, 1200.0)
+        times = timeline.times
+        caps = timeline.capacities
+        assert len(times) == len(caps)
+        assert np.all(np.diff(times) > 0)  # strictly increasing
+        assert int(caps.min()) >= 2
+        assert int(caps.max()) <= 8
+        # No-op steps were removed: consecutive capacities differ.
+        assert np.all(np.diff(caps) != 0)
+
+    def test_slowdown_windows_are_merged_and_ordered(self):
+        schedule = FaultSchedule(
+            slowdown_rate_per_minute=30.0,  # dense -> overlaps guaranteed
+            slowdown_duration_seconds=10.0,
+            seed=2,
+        )
+        timeline = schedule.materialize(8, 600.0)
+        starts = timeline.slow_starts
+        ends = timeline.slow_ends
+        assert len(starts) == len(ends)
+        assert len(starts) > 0
+        assert np.all(ends > starts)
+        # Disjoint after merging: the next window starts strictly after
+        # the previous one ends.
+        assert np.all(starts[1:] > ends[:-1])
+
+    def test_multiplier_scalar_and_vector_agree(self):
+        schedule = FaultSchedule(
+            slowdown_rate_per_minute=4.0,
+            slowdown_multiplier=2.5,
+            slowdown_duration_seconds=5.0,
+            seed=3,
+        )
+        timeline = schedule.materialize(8, 600.0)
+        probes = np.random.default_rng(0).uniform(0.0, 650.0, size=500)
+        vectorized = timeline.multipliers(probes)
+        scalar = np.array([timeline.multiplier_at(t) for t in probes])
+        assert np.array_equal(vectorized, scalar)
+        assert set(np.unique(vectorized)) <= {1.0, 2.5}
+
+    def test_capacity_at_walks_the_step_function(self):
+        timeline = FaultTimeline(
+            initial_capacity=8,
+            times=np.array([10.0, 20.0]),
+            capacities=np.array([5, 8]),
+            slow_starts=np.empty(0),
+            slow_ends=np.empty(0),
+        )
+        assert timeline.capacity_at(0.0) == 8
+        assert timeline.capacity_at(10.0) == 5
+        assert timeline.capacity_at(15.0) == 5
+        assert timeline.capacity_at(20.0) == 8
+
+    def test_recoveries_may_land_past_horizon(self):
+        """Crashes only inside the horizon; repairs may complete after."""
+        schedule = FaultSchedule(
+            instance_mtbf_seconds=50.0,
+            instance_mttr_seconds=500.0,
+            seed=1,
+        )
+        timeline = schedule.materialize(4, 300.0)
+        drops = timeline.times[
+            np.diff(
+                np.concatenate(
+                    [[timeline.initial_capacity], timeline.capacities]
+                )
+            )
+            < 0
+        ]
+        assert np.all(drops < 300.0)
+
+
+class TestDropReasons:
+    def test_reason_table_is_stable(self):
+        # Telemetry (CSV columns, breakdown keys) depends on this order.
+        assert DROP_REASONS == ("queue_full", "timeout", "crashed")
+
+
+class TestChaosRouting:
+    def test_non_keyed_policy_rejected_under_chaos(self):
+        suite = benchmark_suite()
+        model = ServerlessExecutionModel(platform=baseline_cpu())
+
+        class _AlienPolicy:
+            def push(self, request):  # pragma: no cover - never reached
+                pass
+
+            def pop(self):  # pragma: no cover - never reached
+                pass
+
+            def __len__(self):
+                return 0
+
+        class _AlienFactory:
+            def build(self):
+                return _AlienPolicy()
+
+        simulation = RackSimulation(
+            model,
+            suite,
+            max_instances=2,
+            seed=1,
+            policy=_AlienFactory(),
+            retry=RetryPolicy(max_retries=1),
+        )
+        generator = TraceGenerator(
+            list(suite), rate_envelope=(5, 5, 5), segment_seconds=5.0
+        )
+        trace = generator.generate(np.random.default_rng(1))
+        with pytest.raises(ConfigurationError):
+            simulation.run(trace)

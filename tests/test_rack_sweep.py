@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.cluster.faults import FaultSchedule, RetryPolicy
 from repro.cluster.simulation import RackSimulation, ServiceSampleCache
 from repro.cluster.sweep import RackScenario, RackSweep, scenario_grid
 from repro.errors import ConfigurationError
@@ -47,6 +48,28 @@ class TestScenarioGrid:
         label = scenario.label()
         assert "p" in label and "x2" in label and "7 inst" in label
         assert "cold" in label
+
+    def test_chaos_knobs_thread_through_grid(self):
+        faults = FaultSchedule(instance_mtbf_seconds=60.0)
+        retry = RetryPolicy(max_retries=1)
+        grid = scenario_grid(
+            platforms=("a", "b"),
+            max_instances=(2,),
+            faults=faults,
+            retry=retry,
+        )
+        assert len(set(grid)) == 2  # still hashable with chaos fields
+        for scenario in grid:
+            assert scenario.faults is faults
+            assert scenario.retry is retry
+            assert "faults" in scenario.label()
+            assert "retry" in scenario.label()
+        # Inert objects do not pollute the label.
+        quiet = RackScenario(
+            platform="a", faults=FaultSchedule(), retry=RetryPolicy()
+        )
+        assert "faults" not in quiet.label()
+        assert "retry" not in quiet.label()
 
 
 class TestRackSweep:
@@ -128,6 +151,89 @@ class TestRackSweep:
         assert summary["requests"] == result.series.total_requests
         assert summary["p95_latency_s"] >= summary["mean_latency_s"] * 0.1
         assert summary["peak_queue"] == result.peak_queue_depth
+        # Availability telemetry is always present (zeros when fault
+        # free) so sweep tables stay rectangular across mixed grids.
+        assert summary["availability"] == 1.0 or summary["dropped"] > 0
+        assert summary["dropped_queue_full"] == summary["dropped"]
+        assert summary["dropped_timeout"] == 0
+        assert summary["dropped_crashed"] == 0
+        assert summary["retries"] == 0
+
+    def test_chaos_cells_match_standalone_runs(self, context, harness):
+        faults = FaultSchedule(
+            instance_mtbf_seconds=90.0,
+            instance_mttr_seconds=15.0,
+            seed=21,
+        )
+        retry = RetryPolicy(timeout_seconds=3.0, max_retries=2)
+        grid = scenario_grid(
+            platforms=(BASELINE_NAME,),
+            max_instances=(2, 4),
+            seed=3,
+            faults=faults,
+            retry=retry,
+        )
+        results = harness.run(grid)
+        assert any(r.series.retries > 0 for r in results)
+        for result in results:
+            scenario = result.scenario
+            standalone = RackSimulation(
+                context.models[scenario.platform],
+                context.applications,
+                max_instances=scenario.max_instances,
+                queue_depth=scenario.queue_depth,
+                seed=scenario.seed,
+                faults=faults,
+                retry=retry,
+            ).run(harness.trace_for(scenario.seed, scenario.rate_scale))
+            assert result.series.identical_to(standalone)
+            row = result.as_row()
+            assert (
+                row["dropped_queue_full"]
+                + row["dropped_timeout"]
+                + row["dropped_crashed"]
+                == row["dropped"]
+            )
+
+    def test_sample_cache_is_bit_exact_under_chaos(self, context):
+        """Cached and uncached chaos sweeps agree bit for bit: the
+        replayed blocks cover retry and hedge re-draws too."""
+        faults = FaultSchedule(
+            instance_mtbf_seconds=60.0,
+            instance_mttr_seconds=10.0,
+            slowdown_rate_per_minute=2.0,
+            seed=8,
+        )
+        retry = RetryPolicy(
+            timeout_seconds=2.0,
+            max_retries=2,
+            backoff_base_seconds=0.2,
+            hedge_after_seconds=0.3,
+        )
+        grid = scenario_grid(
+            platforms=(BASELINE_NAME,),
+            max_instances=(2, 3, 4),
+            policies=("fcfs", "sjf"),
+            seed=3,
+            faults=faults,
+            retry=retry,
+        )
+
+        def run(reuse):
+            sweep = RackSweep(
+                context,
+                rate_envelope=SMALL_ENVELOPE,
+                segment_seconds=SEGMENT_SECONDS,
+                reuse_service_samples=reuse,
+            )
+            return sweep, sweep.run(grid)
+
+        cached_sweep, cached = run(True)
+        _, uncached = run(False)
+        assert any(r.series.retries > 0 for r in cached)
+        for a, b in zip(cached, uncached):
+            assert a.series.identical_to(b.series)
+        assert cached_sweep._caches[BASELINE_NAME].hits > 0
 
 
 class TestServiceSampleCache:
