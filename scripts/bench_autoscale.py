@@ -1,24 +1,29 @@
 #!/usr/bin/env python
-"""Benchmark the chaos engines: event-driven vs vectorized under faults.
+"""Benchmark the control engines: event-driven vs vectorized closed loop.
 
 Runs the paper's full 20-minute bursty trace (both platforms, 200
-instances) with a mild fault schedule (instance churn + slowdown
-windows) and a retry policy (queue timeouts, bounded retries) through
+instances) with the closed-loop control plane engaged — reactive
+target-utilization autoscaling (warmup-delayed scale-ups, graceful
+scale-downs) plus a CoDel queue-delay shedder — composed with the mild
+chaos schedule of ``bench_faults.py`` (instance churn + slowdowns +
+retries), through
 
-- the **event-driven chaos oracle** — one callback per arrival, retry
-  re-arrival, timeout timer, capacity event, and completion, and
-- the **vectorized chaos engine** — pass-A chunking with capacity
-  epochs plus the keyed dispatch kernel —
+- the **event-driven control oracle** — one callback per arrival,
+  control tick, warmup activation, fault event, timer, and completion,
+  and
+- the **vectorized control engine** — chaos pass-A chunking with
+  control-epoch boundaries and a vectorized admission gate —
 
-checks the two are bit-identical (series, drop reasons, retry/timeout/
-kill counters, RNG end state), and writes the shared ``bench_common``
-schema to ``BENCH_faults.json``.  A separate ``overhead`` section times
-the fault-free engine with inert fault objects attached, pinning the
-zero-fault cost of the availability layer at (near) zero.
+checks the two are bit-identical (series incl. live-capacity and
+per-app completion records, ``shed`` drops, RNG end state), and writes
+the shared ``bench_common`` schema to ``BENCH_autoscale.json``.  A
+separate ``zero_control_overhead`` section times the same chaos study
+with an inert ``ControlPlane()`` attached, pinning the cost of the
+control layer at zero until it is enabled.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_faults.py [--rate-scale S]
+    PYTHONPATH=src python scripts/bench_autoscale.py [--rate-scale S]
 """
 
 from __future__ import annotations
@@ -37,13 +42,18 @@ from bench_common import (
     write_record,
 )
 
+from repro.cluster.control import (
+    AutoscalerPolicy,
+    ControlPlane,
+    OverloadPolicy,
+)
 from repro.cluster.faults import FaultSchedule, RetryPolicy
 from repro.cluster.simulation import RackSimulation
 from repro.cluster.trace import DEFAULT_RATE_ENVELOPE, TraceGenerator
 from repro.experiments.common import BASELINE_NAME, DSCS_NAME, build_context
 
-# Mild, paper-plausible churn: each instance fails about four times an
-# hour and repairs in half a minute; transient slowdowns once a minute.
+# The same mild churn as bench_faults.py, so the two benchmarks isolate
+# exactly the closed-loop layer.
 FAULTS = FaultSchedule(
     instance_mtbf_seconds=900.0,
     instance_mttr_seconds=30.0,
@@ -53,10 +63,19 @@ FAULTS = FaultSchedule(
     seed=404,
 )
 RETRY = RetryPolicy(timeout_seconds=5.0, max_retries=2)
+PLANE = ControlPlane(
+    autoscaler=AutoscalerPolicy(
+        policy="target_utilization",
+        min_instances=20,
+        warmup_seconds=2.5,
+        scale_down_cooldown_seconds=30.0,
+    ),
+    overload=OverloadPolicy(queue_delay_target_seconds=0.5),
+)
 
 
-def run_study(context, trace, engine, max_instances, seed, faults, retry):
-    """Run the two-platform chaos study under one engine."""
+def run_study(context, trace, engine, max_instances, seed, control):
+    """Run the two-platform closed-loop study under one engine."""
     series = {}
     rng_states = {}
     for name in (BASELINE_NAME, DSCS_NAME):
@@ -65,8 +84,9 @@ def run_study(context, trace, engine, max_instances, seed, faults, retry):
             context.applications,
             max_instances=max_instances,
             seed=seed,
-            faults=faults,
-            retry=retry,
+            faults=FAULTS,
+            retry=RETRY,
+            control=control,
         )
         series[name] = simulation.run(trace, engine=engine)
         rng_states[name] = repr(simulation._rng.bit_generator.state)
@@ -81,12 +101,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_faults.json",
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_autoscale.json",
     )
     parser.add_argument(
         "--skip-event",
         action="store_true",
-        help="only time the vectorized chaos engine (no oracle)",
+        help="only time the vectorized control engine (no oracle)",
     )
     args = parser.parse_args(argv)
 
@@ -95,20 +116,20 @@ def main(argv=None) -> int:
     generator = TraceGenerator(context.app_names, rate_envelope=envelope)
     trace = generator.generate(np.random.default_rng(args.seed))
     print(
-        f"chaos study: {len(trace)} requests over "
+        f"closed-loop study: {len(trace)} requests over "
         f"{trace.duration_seconds / 60:.0f} min, both platforms, "
-        f"{args.max_instances} instances, instance MTBF "
-        f"{FAULTS.instance_mtbf_seconds:.0f}s"
+        f"{args.max_instances} instance ceiling, "
+        f"{PLANE.autoscaler.min_instances} floor, churn + shedding"
     )
 
     work_items = 2 * len(trace)
     (fast_series, fast_rng), fast_s = timed(
         lambda: run_study(
             context, trace, "vectorized", args.max_instances, args.seed,
-            FAULTS, RETRY,
+            PLANE,
         )
     )
-    fast = engine_record("vectorized chaos engine", fast_s, work_items)
+    fast = engine_record("vectorized control engine", fast_s, work_items)
     print(f"vectorized:   {fast_s:8.2f}s  ({work_items / fast_s:9.0f} req/s)")
 
     oracle = None
@@ -116,11 +137,11 @@ def main(argv=None) -> int:
         (event_series, event_rng), event_s = timed(
             lambda: run_study(
                 context, trace, "event", args.max_instances, args.seed,
-                FAULTS, RETRY,
+                PLANE,
             )
         )
         oracle = engine_record(
-            "event-driven chaos oracle", event_s, work_items
+            "event-driven control oracle", event_s, work_items
         )
         print(
             f"event-driven: {event_s:8.2f}s  "
@@ -131,50 +152,57 @@ def main(argv=None) -> int:
             for name in event_series
         ) and event_rng == fast_rng
         if not identical:
-            print("ERROR: chaos engines disagree — not recording",
+            print("ERROR: control engines disagree — not recording",
                   file=sys.stderr)
             return 1
         print(
             f"speedup: {round(event_s / fast_s, 2)}x (results bit-identical)"
         )
 
-    # Zero-fault overhead: the same study with inert fault objects must
-    # route to (and run at the speed of) the fault-free fast engine.
-    (clean_series, _), clean_s = timed(
+    # Zero-control overhead: the same chaos study with an inert plane
+    # must route to (and run at the speed of) the chaos fast engine.
+    (_, _), inert_s = timed(
         lambda: run_study(
             context, trace, "vectorized", args.max_instances, args.seed,
-            FaultSchedule(), RetryPolicy(),
+            ControlPlane(),
         )
     )
     print(
-        f"zero-fault:   {clean_s:8.2f}s  "
-        f"({work_items / clean_s:9.0f} req/s, inert config)"
+        f"inert plane:  {inert_s:8.2f}s  "
+        f"({work_items / inert_s:9.0f} req/s, routes to chaos engine)"
     )
 
     record = build_record(
-        benchmark="chaos_at_scale_study",
+        benchmark="closed_loop_control_study",
         workload={
             "num_requests": len(trace),
             "rate_scale": args.rate_scale,
             "max_instances": args.max_instances,
             "platforms": [BASELINE_NAME, DSCS_NAME],
+            "autoscaler": {
+                "policy": PLANE.autoscaler.policy,
+                "min_instances": PLANE.autoscaler.min_instances,
+                "warmup_s": PLANE.autoscaler.warmup_seconds,
+            },
+            "overload": {
+                "queue_delay_target_s": (
+                    PLANE.overload.queue_delay_target_seconds
+                ),
+            },
             "faults": {
                 "instance_mtbf_s": FAULTS.instance_mtbf_seconds,
-                "instance_mttr_s": FAULTS.instance_mttr_seconds,
-                "slowdown_rate_per_minute": FAULTS.slowdown_rate_per_minute,
                 "fault_seed": FAULTS.seed,
-            },
-            "retry": {
-                "timeout_s": RETRY.timeout_seconds,
-                "max_retries": RETRY.max_retries,
             },
             "telemetry": {
                 name: {
                     "dropped": series.dropped_requests,
                     "drop_breakdown": series.drop_breakdown(),
-                    "retries": series.retries,
-                    "timeouts": series.timeouts,
-                    "crash_kills": series.crash_kills,
+                    "scale_ups": series.scale_ups,
+                    "scale_downs": series.scale_downs,
+                    "live_mean": round(
+                        float(series.live_instances.mean()), 2
+                    ),
+                    "live_peak": int(series.live_instances.max()),
                     "availability": round(series.availability, 6),
                 }
                 for name, series in fast_series.items()
@@ -184,9 +212,9 @@ def main(argv=None) -> int:
         oracle=oracle,
         check_hash=series_digest(fast_series),
     )
-    record["zero_fault_overhead"] = {
-        "wall_clock_s": round(clean_s, 3),
-        "per_second": round(work_items / clean_s, 2),
+    record["zero_control_overhead"] = {
+        "wall_clock_s": round(inert_s, 3),
+        "per_second": round(work_items / inert_s, 2),
     }
     write_record(args.output, record)
     print(f"wrote {args.output}")

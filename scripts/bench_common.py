@@ -66,6 +66,42 @@ def digest(*parts: Any) -> str:
     return f"sha256:{hasher.hexdigest()}"
 
 
+def series_digest(series_by_platform) -> str:
+    """The shared check-hash payload for rack-series benchmarks.
+
+    One definition for every ``BENCH_*.json`` that hashes
+    :class:`~repro.cluster.simulation.SimulationSeries` results
+    (``bench_rack``, ``bench_faults``, ``bench_autoscale``): the full
+    series, the drop *times and reasons*, the availability counters, and
+    the per-reason drop breakdown (including ``shed``) — so a future
+    engine cannot silently reshuffle loss modes while matching the
+    aggregate counts.  ``tests/test_fault_equivalence.py`` and
+    ``tests/test_control_equivalence.py`` restate this projection (tests
+    do not import from ``scripts/``); keep them in lockstep.
+    """
+    parts = []
+    for name in sorted(series_by_platform):
+        series = series_by_platform[name]
+        parts.extend(
+            [
+                name,
+                series.completed_latency_seconds.tobytes(),
+                series.completed_times.tobytes(),
+                series.queue_depth.tobytes(),
+                series.busy_instances.tobytes(),
+                series.dropped_times.tobytes(),
+                series.dropped_reasons.tobytes(),
+                series.dropped_requests,
+                series.total_requests,
+                series.retries,
+                series.timeouts,
+                series.crash_kills,
+                tuple(sorted(series.drop_breakdown().items())),
+            ]
+        )
+    return digest(*parts)
+
+
 def engine_record(
     engine: str, wall_clock_s: float, work_items: int
 ) -> Dict[str, Any]:

@@ -29,8 +29,8 @@ import numpy as np
 
 from bench_common import (
     build_record,
-    digest,
     engine_record,
+    series_digest,
     timed,
     write_record,
 )
@@ -59,24 +59,6 @@ def run_study(context, trace, engine, max_instances, seed):
         series[name] = simulation.run(trace, engine=engine)
         rng_states[name] = repr(simulation._rng.bit_generator.state)
     return series, rng_states
-
-
-def series_digest(series_by_platform) -> str:
-    parts = []
-    for name in sorted(series_by_platform):
-        series = series_by_platform[name]
-        parts.extend(
-            [
-                name,
-                series.completed_latency_seconds.tobytes(),
-                series.completed_times.tobytes(),
-                series.queue_depth.tobytes(),
-                series.busy_instances.tobytes(),
-                series.dropped_requests,
-                series.total_requests,
-            ]
-        )
-    return digest(*parts)
 
 
 def main(argv=None) -> int:

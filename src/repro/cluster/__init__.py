@@ -21,8 +21,26 @@ retries with backoff + jitter, hedged dispatch) perturb any simulation
 deterministically; the chaos engines in
 :mod:`repro.cluster.chaos_engine` are bit-identical to each other and
 degrade to the fault-free engines when the schedule is inert.
+
+A closed-loop control plane (:mod:`repro.cluster.control`) sits above
+both: a deterministic controller observes per-tick telemetry and
+actuates reactive autoscaling (target-utilization or queue-depth
+scaling with warmup delays and graceful scale-downs, composing with
+fault timelines as ``min(autoscaled, surviving)``) and overload
+protection (token-bucket admission, CoDel-style queue-delay shedding,
+brownout by criticality, per-app circuit breakers) — again through two
+bit-identical engines (:mod:`repro.cluster.control_engine`), with every
+shed recorded under the terminal ``shed`` drop reason.
 """
 
+from repro.cluster.control import (
+    SCALING_POLICIES,
+    AutoscalerPolicy,
+    ControlPlane,
+    OverloadPolicy,
+    observer_plane,
+    warmup_from_coldstart,
+)
 from repro.cluster.faults import (
     DROP_REASONS,
     FaultSchedule,
@@ -60,10 +78,14 @@ from repro.cluster.sweep import (
 from repro.cluster.trace import RequestTrace, TraceGenerator
 
 __all__ = [
+    "AutoscalerPolicy",
+    "ControlPlane",
     "CriticalityPolicy",
     "DAGAwarePolicy",
     "DROP_REASONS",
     "FCFSPolicy",
+    "OverloadPolicy",
+    "SCALING_POLICIES",
     "FaultSchedule",
     "FaultTimeline",
     "RetryPolicy",
@@ -84,6 +106,8 @@ __all__ = [
     "criticality_key",
     "dag_key",
     "fcfs_key",
+    "observer_plane",
     "scenario_grid",
     "sjf_key",
+    "warmup_from_coldstart",
 ]

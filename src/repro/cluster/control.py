@@ -1,0 +1,626 @@
+"""Closed-loop control plane: reactive autoscaling + overload protection.
+
+PR 6 made capacity an *open-loop* input — a pre-materialized
+:class:`~repro.cluster.faults.FaultTimeline` plus a constant
+``max_instances``.  This module closes the loop: a deterministic
+controller observes the simulated rack at a fixed control interval
+(busy instances, queue depth, head-of-line wait, windowed p99 latency,
+failure counts) and actuates two families of knobs:
+
+- **Reactive autoscaling** (:class:`AutoscalerPolicy`) — HPA-style
+  target-utilization scaling (``desired = ceil(busy / target)``) or
+  queue-depth scaling (``desired = busy + ceil(queue / per_instance)``),
+  clamped to ``[min_instances, max_instances]``, with per-direction
+  cooldowns.  Scale-ups take effect only after ``warmup_seconds`` — the
+  container cold-start penalty, derivable from the
+  :class:`~repro.serverless.coldstart.ColdStartModel` accounting via
+  :func:`warmup_from_coldstart`.  Scale-downs are graceful: the live
+  target drops immediately but in-flight work drains; nothing is
+  killed.  The autoscaled capacity composes with a fault timeline as
+  ``min(autoscaled, surviving)``.
+- **Overload protection** (:class:`OverloadPolicy`) — a token-bucket
+  admission limiter (refilled once per control tick), a CoDel-style
+  shedder that drops the worst-key queued requests whenever
+  head-of-line waiting exceeds a delay target, a brownout ladder that
+  walks a criticality threshold down one class per overloaded tick
+  (reusing :class:`~repro.cluster.policy_keys.PolicyKey` criticality
+  vectors; the most critical class is never shed), and a per-app
+  circuit breaker tripped by windowed failure fractions.  Every shed is
+  a *terminal* drop with the dedicated ``shed`` reason
+  (:data:`~repro.cluster.faults.REASON_SHED`): admission control tells
+  clients to back off, so sheds are never retried.
+
+Determinism is the design center, matching ``faults.py``: the
+controller state machine (:class:`ControllerState`) is shared — not
+re-implemented — by the event-driven oracle and the vectorized engine
+in :mod:`repro.cluster.control_engine`, consumes no RNG, and makes
+every decision from quantities both engines observe identically at
+control ticks.  ``tests/test_control_equivalence.py`` proves the two
+engines bit-identical under it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.policy_keys import DEFAULT_CRITICALITY
+from repro.errors import ConfigurationError
+
+_INF = float("inf")
+
+# Scaling formulas understood by :class:`AutoscalerPolicy`.
+SCALING_POLICIES = ("target_utilization", "queue_depth")
+
+
+def warmup_from_coldstart(
+    coldstart, image_bytes: int, drive=None
+) -> float:
+    """Scale-up warmup delay from the cold-start accounting (§5.3).
+
+    A freshly provisioned instance is not a warm container: it pays the
+    full registry pull + unpack + health check before serving — unless a
+    DSCS drive is supplied, in which case the image reloads over the
+    P2P link from parked flash (the ``serverless/warmpool.py`` flash
+    parking path).
+    """
+    if drive is not None:
+        return float(coldstart.p2p_reload_seconds(image_bytes, drive))
+    return float(coldstart.cold_start_seconds(image_bytes))
+
+
+def observer_plane(
+    max_instances: int, control_interval_seconds: float = 1.0
+) -> ControlPlane:
+    """A control plane that actuates nothing but records telemetry.
+
+    Pinning ``min_instances = initial_instances = max_instances`` makes
+    every scaling decision a no-op (desired is always clamped to the
+    ceiling), so the run has exactly the fault/chaos dynamics of an
+    uncontrolled one — but routes through the control engines, which
+    emit the per-completion app record
+    (:attr:`~repro.cluster.simulation.SimulationSeries.completed_app_ids`)
+    and the live-capacity series.  The ``fig15-overload`` study uses it
+    for its *uncontrolled* cells, so per-criticality latency slicing
+    works on both sides of the comparison.
+    """
+    return ControlPlane(
+        autoscaler=AutoscalerPolicy(
+            min_instances=int(max_instances),
+            initial_instances=int(max_instances),
+        ),
+        control_interval_seconds=control_interval_seconds,
+    )
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Reactive scaling of the live instance count.
+
+    - ``policy`` — ``"target_utilization"`` (``desired = ceil(busy /
+      target_utilization)``, the classic HPA formula) or
+      ``"queue_depth"`` (``desired = busy + ceil(queue_len /
+      queue_per_instance)``).
+    - ``min_instances`` — the floor the fleet never scales below; the
+      ceiling is the simulation's ``max_instances``.
+    - ``initial_instances`` — live count at t=0 (defaults to
+      ``min_instances``).
+    - ``scale_up_cooldown_seconds`` / ``scale_down_cooldown_seconds`` —
+      minimum spacing between consecutive decisions in the same
+      direction (down defaults slower, the usual anti-flap asymmetry).
+    - ``warmup_seconds`` — delay before scaled-up instances start
+      serving (cold-start penalty; see :func:`warmup_from_coldstart`).
+      Scale-downs always take effect immediately but never kill
+      in-flight work.
+    """
+
+    policy: str = "target_utilization"
+    min_instances: int = 1
+    initial_instances: Optional[int] = None
+    target_utilization: float = 0.7
+    queue_per_instance: float = 4.0
+    scale_up_cooldown_seconds: float = 0.0
+    scale_down_cooldown_seconds: float = 30.0
+    warmup_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in SCALING_POLICIES:
+            raise ConfigurationError(
+                f"unknown scaling policy {self.policy!r}; expected one "
+                f"of {SCALING_POLICIES}"
+            )
+        if self.min_instances < 1:
+            raise ConfigurationError(
+                f"min_instances must be >= 1, got {self.min_instances}"
+            )
+        if (
+            self.initial_instances is not None
+            and self.initial_instances < self.min_instances
+        ):
+            raise ConfigurationError(
+                f"initial_instances ({self.initial_instances}) below "
+                f"min_instances ({self.min_instances})"
+            )
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ConfigurationError(
+                "target_utilization must be in (0, 1], got "
+                f"{self.target_utilization}"
+            )
+        if self.queue_per_instance <= 0:
+            raise ConfigurationError(
+                f"non-positive queue_per_instance: {self.queue_per_instance}"
+            )
+        for name in (
+            "scale_up_cooldown_seconds",
+            "scale_down_cooldown_seconds",
+            "warmup_seconds",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ConfigurationError(f"invalid {name}: {value}")
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Admission control and graceful degradation under overload.
+
+    Four mechanisms, each optional and independently disableable:
+
+    - **Token bucket** (``admission_rate_rps``) — arrivals spend one
+      token; an empty bucket sheds.  The bucket holds
+      ``admission_rate_rps * admission_burst_seconds`` tokens (starts
+      full) and refills once per control tick, quantized so both
+      engines see the identical token sequence.
+    - **CoDel shedder** (``queue_delay_target_seconds``) — when the
+      head-of-line request has waited longer than the target at a
+      control tick, ``max(1, ceil(shed_fraction * queue_len))`` of the
+      *worst-key* queued requests are shed.
+    - **Brownout ladder** (``priorities`` + an overload signal) — a
+      criticality threshold steps down one class per overloaded tick
+      (shedding the least critical traffic first) and recovers one
+      class per healthy tick.  Classes below ``min_shed_priority`` are
+      never shed: the rack brownouts, it does not black out.  Overload
+      is signalled by the queue-delay target and/or a windowed p99
+      exceeding ``latency_slo_seconds``.
+    - **Circuit breaker** (``breaker_failure_threshold``) — an app
+      whose per-window failed attempts reach both
+      ``breaker_min_failures`` and the given failure *fraction* is shed
+      entirely for ``breaker_open_seconds``.
+
+    ``priorities`` reuses the criticality-key convention of
+    :mod:`repro.cluster.policy_keys`: smaller integer = more critical,
+    missing apps get ``default_priority``.
+    """
+
+    admission_rate_rps: Optional[float] = None
+    admission_burst_seconds: float = 2.0
+    queue_delay_target_seconds: Optional[float] = None
+    shed_fraction: float = 0.1
+    latency_slo_seconds: Optional[float] = None
+    priorities: Optional[Mapping[str, int]] = None
+    default_priority: int = DEFAULT_CRITICALITY
+    min_shed_priority: int = 1
+    breaker_failure_threshold: Optional[float] = None
+    breaker_min_failures: int = 5
+    breaker_open_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.priorities is not None:
+            # Freeze the mapping into sorted tuples: hashable, ordered,
+            # and immune to caller-side mutation.
+            object.__setattr__(
+                self,
+                "priorities",
+                tuple(
+                    sorted(
+                        (str(name), int(rank))
+                        for name, rank in dict(self.priorities).items()
+                    )
+                ),
+            )
+        for name in ("admission_rate_rps", "queue_delay_target_seconds",
+                     "latency_slo_seconds", "breaker_failure_threshold"):
+            value = getattr(self, name)
+            if value is not None and (
+                not math.isfinite(value) or value <= 0
+            ):
+                raise ConfigurationError(
+                    f"non-positive {name}: {value}; use None to disable"
+                )
+        if (
+            self.breaker_failure_threshold is not None
+            and self.breaker_failure_threshold > 1.0
+        ):
+            raise ConfigurationError(
+                "breaker_failure_threshold is a fraction in (0, 1], got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if self.admission_burst_seconds <= 0:
+            raise ConfigurationError(
+                "non-positive admission_burst_seconds: "
+                f"{self.admission_burst_seconds}"
+            )
+        if not 0.0 <= self.shed_fraction <= 1.0:
+            raise ConfigurationError(
+                f"shed_fraction must be in [0, 1], got {self.shed_fraction}"
+            )
+        if self.min_shed_priority < 0:
+            raise ConfigurationError(
+                f"negative min_shed_priority: {self.min_shed_priority}"
+            )
+        if self.breaker_min_failures < 1:
+            raise ConfigurationError(
+                "breaker_min_failures must be >= 1, got "
+                f"{self.breaker_min_failures}"
+            )
+        if self.breaker_open_seconds <= 0:
+            raise ConfigurationError(
+                f"non-positive breaker_open_seconds: "
+                f"{self.breaker_open_seconds}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any protection mechanism is enabled."""
+        return (
+            self.admission_rate_rps is not None
+            or self.queue_delay_target_seconds is not None
+            or self.latency_slo_seconds is not None
+            or self.breaker_failure_threshold is not None
+        )
+
+    def priority_map(self) -> Mapping[str, int]:
+        return dict(self.priorities or ())
+
+
+@dataclass(frozen=True)
+class ControlPlane:
+    """The closed-loop controller configuration for one simulation.
+
+    Bundles an optional autoscaler and an optional overload policy
+    evaluated every ``control_interval_seconds``.  An inert plane
+    (neither configured) routes the simulation to the existing
+    engines — attaching ``ControlPlane()`` changes nothing, matching
+    the inert-``FaultSchedule`` convention.
+    """
+
+    autoscaler: Optional[AutoscalerPolicy] = None
+    overload: Optional[OverloadPolicy] = None
+    control_interval_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if (
+            not math.isfinite(self.control_interval_seconds)
+            or self.control_interval_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "non-positive control interval: "
+                f"{self.control_interval_seconds}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether this plane changes anything relative to no plane."""
+        return self.autoscaler is not None or (
+            self.overload is not None and self.overload.active
+        )
+
+
+class ControllerState:
+    """The deterministic controller state machine, shared by engines.
+
+    Both the event-driven oracle and the vectorized engine drive one
+    instance of this class through the identical call sequence —
+    :meth:`admit` / :meth:`gate_mask` + :meth:`consume` per arrival,
+    :meth:`record_completion` / :meth:`record_failure` per terminating
+    attempt, :meth:`on_tick` per control tick, :meth:`activate` per
+    warmup expiry — so every decision (scaling, token spend, brownout
+    step, breaker trip, shed victim selection) is bit-identical by
+    construction.  No RNG is consumed anywhere.
+    """
+
+    def __init__(
+        self,
+        plane: ControlPlane,
+        max_instances: int,
+        app_names: Sequence[str],
+    ) -> None:
+        self.plane = plane
+        self.max_instances = int(max_instances)
+        self.app_names = list(app_names)
+        n_apps = len(self.app_names)
+
+        autoscaler = plane.autoscaler
+        if autoscaler is not None:
+            initial = (
+                autoscaler.initial_instances
+                if autoscaler.initial_instances is not None
+                else autoscaler.min_instances
+            )
+            self.live = max(
+                autoscaler.min_instances, min(self.max_instances, initial)
+            )
+        else:
+            self.live = self.max_instances
+        self.live_target = self.live
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._last_up = -_INF
+        self._last_down = -_INF
+        # (time, live) steps for series reconstruction; live changes are
+        # ranked before sample ticks, so samples read side="right".
+        self.live_log: List[Tuple[float, int]] = [(0.0, self.live)]
+
+        overload = plane.overload
+        self.gating_active = overload is not None and overload.active
+        self.tokens: Optional[float] = None
+        self._bucket = 0.0
+        self._rate = 0.0
+        if overload is not None and overload.admission_rate_rps is not None:
+            self._rate = float(overload.admission_rate_rps)
+            self._bucket = self._rate * overload.admission_burst_seconds
+            self.tokens = self._bucket
+
+        self._priorities = np.full(n_apps, 0, dtype=np.int64)
+        self._threshold: Optional[int] = None
+        self._threshold_max = 0
+        if overload is not None and overload.priorities is not None and (
+            overload.queue_delay_target_seconds is not None
+            or overload.latency_slo_seconds is not None
+        ):
+            ranks = overload.priority_map()
+            self._priorities = np.array(
+                [
+                    int(ranks.get(name, overload.default_priority))
+                    for name in self.app_names
+                ],
+                dtype=np.int64,
+            )
+            self._threshold_max = int(self._priorities.max(initial=0)) + 1
+            self._threshold = self._threshold_max
+
+        self._breaker_on = (
+            overload is not None
+            and overload.breaker_failure_threshold is not None
+        )
+        self._slo_on = (
+            overload is not None and overload.latency_slo_seconds is not None
+        )
+        # Per-attempt window counters, cleared every control tick.
+        self.windows_active = self._breaker_on or self._slo_on
+        self._open_until = np.full(n_apps, -_INF)
+        self._window_failures = np.zeros(n_apps, dtype=np.int64)
+        self._window_successes = np.zeros(n_apps, dtype=np.int64)
+        self._window_latencies: List[float] = []
+        self.breaker_trips = 0
+
+        self.app_blocked = np.zeros(n_apps, dtype=bool)
+
+    # -- arrival gate --------------------------------------------------
+
+    def admit(self, app_id: int) -> bool:
+        """Scalar arrival gate: shed, or admit and spend a token."""
+        if not self.gating_active:
+            return True
+        if self.app_blocked[app_id]:
+            return False
+        if self.tokens is not None:
+            if self.tokens < 1.0:
+                return False
+            self.tokens -= 1.0
+        return True
+
+    def gate_mask(self, app_ids: np.ndarray) -> np.ndarray:
+        """Vectorized gate over a chunk of arrivals (no token spend).
+
+        Pure: equals running :meth:`admit` over the chunk with the
+        current token balance, but leaves the balance untouched — the
+        caller commits a prefix and then spends via :meth:`consume`.
+        Valid only while no refill interleaves (chunks are cut at
+        control ticks).
+        """
+        admitted = ~self.app_blocked[app_ids]
+        if self.tokens is not None:
+            available = int(self.tokens)
+            positions = np.nonzero(admitted)[0]
+            if len(positions) > available:
+                admitted[positions[available:]] = False
+        return admitted
+
+    def consume(self, count: int) -> None:
+        """Spend tokens for ``count`` committed admissions."""
+        if self.tokens is not None and count:
+            self.tokens -= float(count)
+
+    # -- telemetry feeds -----------------------------------------------
+
+    def record_completion(self, app_id: int, latency: float) -> None:
+        if self._breaker_on:
+            self._window_successes[app_id] += 1
+        if self._slo_on:
+            self._window_latencies.append(latency)
+
+    def record_failure(self, app_id: int) -> None:
+        if self._breaker_on:
+            self._window_failures[app_id] += 1
+
+    # -- control tick --------------------------------------------------
+
+    def on_tick(
+        self,
+        now: float,
+        busy: int,
+        queue_len: int,
+        head_wait: Optional[float],
+    ) -> Tuple[int, Optional[Tuple[float, int]]]:
+        """One control decision.  Returns ``(shed_count, activation)``.
+
+        ``shed_count`` requests should be shed from the queue
+        (worst key first, via :meth:`shed_victims`); ``activation`` is
+        an ``(at_time, target)`` warmup event the engine must schedule,
+        or ``None``.  Immediate capacity changes (warmup-free scale-ups
+        and all scale-downs) are applied to :attr:`live` in place — the
+        engine re-reads it after every tick.
+        """
+        overload = self.plane.overload
+        activation: Optional[Tuple[float, int]] = None
+        shed_count = 0
+
+        if self.gating_active:
+            assert overload is not None
+            if self.tokens is not None:
+                self.tokens = min(
+                    self._bucket,
+                    self.tokens
+                    + self._rate * self.plane.control_interval_seconds,
+                )
+
+            # Overload signal: head-of-line delay and/or windowed p99.
+            delay_target = overload.queue_delay_target_seconds
+            delayed = (
+                delay_target is not None
+                and head_wait is not None
+                and head_wait > delay_target
+            )
+            slo_violated = False
+            if self._slo_on and self._window_latencies:
+                p99 = float(
+                    np.percentile(
+                        np.asarray(self._window_latencies), 99.0
+                    )
+                )
+                slo_violated = p99 > overload.latency_slo_seconds
+
+            if delayed:
+                shed_count = min(
+                    queue_len,
+                    max(
+                        1,
+                        int(
+                            math.ceil(
+                                overload.shed_fraction * queue_len
+                            )
+                        ),
+                    ),
+                )
+
+            if self._threshold is not None:
+                if delayed or slo_violated:
+                    self._threshold = max(
+                        overload.min_shed_priority, self._threshold - 1
+                    )
+                else:
+                    self._threshold = min(
+                        self._threshold_max, self._threshold + 1
+                    )
+
+            if self._breaker_on:
+                failures = self._window_failures
+                successes = self._window_successes
+                attempts = failures + successes
+                trip = (
+                    (failures >= overload.breaker_min_failures)
+                    & (self._open_until <= now)
+                    & (
+                        failures
+                        >= overload.breaker_failure_threshold
+                        * np.maximum(attempts, 1)
+                    )
+                )
+                if trip.any():
+                    self.breaker_trips += int(np.count_nonzero(trip))
+                    self._open_until[trip] = (
+                        now + overload.breaker_open_seconds
+                    )
+
+            blocked = self._open_until > now
+            if self._threshold is not None:
+                blocked = blocked | (self._priorities >= self._threshold)
+            self.app_blocked = blocked
+
+            if self.windows_active:
+                self._window_failures[:] = 0
+                self._window_successes[:] = 0
+                self._window_latencies = []
+
+        autoscaler = self.plane.autoscaler
+        if autoscaler is not None:
+            desired = self._desired(autoscaler, busy, queue_len)
+            if desired > self.live_target:
+                if now - self._last_up >= autoscaler.scale_up_cooldown_seconds:
+                    self.live_target = desired
+                    self._last_up = now
+                    self.scale_ups += 1
+                    if autoscaler.warmup_seconds > 0:
+                        activation = (
+                            now + autoscaler.warmup_seconds, desired
+                        )
+                    else:
+                        self._set_live(now, desired)
+            elif desired < self.live_target:
+                if (
+                    now - self._last_down
+                    >= autoscaler.scale_down_cooldown_seconds
+                ):
+                    self.live_target = desired
+                    self._last_down = now
+                    self.scale_downs += 1
+                    if self.live > desired:
+                        self._set_live(now, desired)
+
+        return shed_count, activation
+
+    def _desired(
+        self, autoscaler: AutoscalerPolicy, busy: int, queue_len: int
+    ) -> int:
+        if autoscaler.policy == "target_utilization":
+            desired = (
+                int(math.ceil(busy / autoscaler.target_utilization))
+                if busy
+                else autoscaler.min_instances
+            )
+        else:  # queue_depth
+            desired = busy + int(
+                math.ceil(queue_len / autoscaler.queue_per_instance)
+            )
+        return max(
+            autoscaler.min_instances, min(self.max_instances, desired)
+        )
+
+    def _set_live(self, now: float, value: int) -> None:
+        if value != self.live:
+            self.live = value
+            self.live_log.append((now, value))
+
+    def activate(self, now: float, target: int) -> None:
+        """A scale-up warmup expired: instances come online.
+
+        Clamped by the *current* target, so a scale-down issued during
+        the warmup wins; never shrinks (a newer, larger activation may
+        already have landed).
+        """
+        self._set_live(
+            now, max(self.live, min(target, self.live_target))
+        )
+
+    # -- shed victim selection -----------------------------------------
+
+    @staticmethod
+    def shed_victims(
+        entries: Sequence[Tuple[int, tuple]], count: int
+    ) -> List[int]:
+        """Pick ``count`` queued requests to shed, worst key first.
+
+        ``entries`` are ``(qseq, sort_key)`` pairs where ``sort_key``
+        is the policy's heap key ``(*prefix, qseq)``; victims are the
+        largest keys — the requests the scheduler would serve last —
+        returned worst-first so both engines record the drops in the
+        identical order.
+        """
+        if count <= 0 or not entries:
+            return []
+        ranked = sorted(entries, key=lambda entry: entry[1])
+        return [qseq for qseq, _ in reversed(ranked[-count:])]

@@ -35,10 +35,14 @@ from repro.errors import ConfigurationError
 
 # Drop-reason codes shared by every engine and the telemetry layer.
 # Order is load-bearing only for reporting (``DROP_REASONS[code]``).
+# ``shed`` is the control plane's terminal drop (admission control /
+# queue shedding / brownout / circuit breaker — see
+# :mod:`repro.cluster.control`); sheds are never retried.
 REASON_QUEUE_FULL = 0
 REASON_TIMEOUT = 1
 REASON_CRASHED = 2
-DROP_REASONS = ("queue_full", "timeout", "crashed")
+REASON_SHED = 3
+DROP_REASONS = ("queue_full", "timeout", "crashed", "shed")
 
 _MASK64 = (1 << 64) - 1
 

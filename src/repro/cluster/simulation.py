@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.cluster.control import ControlPlane
 from repro.cluster.fast_engine import run_vectorized, sample_tick_times
 from repro.cluster.faults import (
     DROP_REASONS,
@@ -114,6 +115,10 @@ def _empty_reason_array() -> np.ndarray:
     return np.empty(0, dtype=np.int8)
 
 
+def _empty_int_array() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
 @dataclass
 class SimulationSeries:
     """Time-series outputs of one rack simulation (Fig. 13 b-d).
@@ -141,6 +146,16 @@ class SimulationSeries:
     crash_kills: int = 0
     hedges_launched: int = 0
     hedge_wins: int = 0
+    # Control-plane telemetry (populated only by the control engines;
+    # empty/zero for every other path).  ``live_instances`` is the
+    # autoscaled live capacity at each sample tick;
+    # ``completed_app_ids`` indexes ``app_catalog`` per completion, for
+    # per-criticality latency slicing.
+    live_instances: np.ndarray = field(default_factory=_empty_int_array)
+    completed_app_ids: np.ndarray = field(default_factory=_empty_int_array)
+    app_catalog: tuple = ()
+    scale_ups: int = 0
+    scale_downs: int = 0
 
     def mean_latency_per_bucket(self, bucket_seconds: float = 60.0) -> np.ndarray:
         """Average request latency per time bucket (Fig. 13 c/d)."""
@@ -187,10 +202,18 @@ class SimulationSeries:
             and np.array_equal(self.completed_times, other.completed_times)
             and np.array_equal(self.dropped_times, other.dropped_times)
             and np.array_equal(self.dropped_reasons, other.dropped_reasons)
+            and self.scale_ups == other.scale_ups
+            and self.scale_downs == other.scale_downs
+            and self.app_catalog == other.app_catalog
+            and np.array_equal(self.live_instances, other.live_instances)
+            and np.array_equal(
+                self.completed_app_ids, other.completed_app_ids
+            )
         )
 
     def drop_breakdown(self) -> Dict[str, int]:
-        """Drops by reason (``queue_full`` / ``timeout`` / ``crashed``).
+        """Drops by reason (``queue_full`` / ``timeout`` / ``crashed`` /
+        ``shed``).
 
         Always sums to :attr:`dropped_requests` — runs predating the
         per-reason record (empty ``dropped_reasons`` with a non-zero
@@ -207,11 +230,33 @@ class SimulationSeries:
             counts[DROP_REASONS[0]] = self.dropped_requests
         return counts
 
+    def completed_latencies_for_apps(self, app_names) -> np.ndarray:
+        """Latencies of completions belonging to the given applications.
+
+        Requires the per-completion app record the control engines emit
+        (:attr:`completed_app_ids` / :attr:`app_catalog`); other engines
+        do not track it, so this returns an empty array for their runs.
+        """
+        if len(self.completed_app_ids) == 0:
+            return np.empty(0)
+        wanted = set(app_names)
+        ids = [
+            i for i, name in enumerate(self.app_catalog) if name in wanted
+        ]
+        mask = np.isin(self.completed_app_ids, np.asarray(ids, dtype=np.int64))
+        return self.completed_latency_seconds[mask]
+
     @property
     def availability(self) -> float:
-        """Fraction of trace requests that eventually completed."""
+        """Fraction of trace requests that eventually completed.
+
+        An empty trace has nothing to account for: availability is
+        undefined rather than perfect — NaN, the same convention
+        :meth:`availability_per_bucket` uses for buckets where no
+        request ended.
+        """
         if self.total_requests == 0:
-            return 1.0
+            return float("nan")
         return len(self.completed_latency_seconds) / self.total_requests
 
     @property
@@ -290,6 +335,7 @@ class RackSimulation:
         sample_cache: Optional[ServiceSampleCache] = None,
         faults: Optional[FaultSchedule] = None,
         retry: Optional[RetryPolicy] = None,
+        control: Optional[ControlPlane] = None,
     ) -> None:
         if max_instances <= 0:
             raise ConfigurationError(f"non-positive instances: {max_instances}")
@@ -305,6 +351,7 @@ class RackSimulation:
         self._sample_cache = sample_cache
         self._faults = faults
         self._retry = retry
+        self._control = control
         self._service_samples: Dict[str, np.ndarray] = {}
         self._service_cursor: Dict[str, int] = {}
         self._last_policy: Optional[KeyedPolicy] = None
@@ -380,6 +427,35 @@ class RackSimulation:
         else:
             queue = FCFSPolicy()
         self._last_policy = queue
+
+        if self._control_active():
+            # The control engines subsume the chaos dynamics (they take
+            # the fault timeline and retry policy too), so an active
+            # control plane routes here regardless of fault config.  An
+            # inert plane must NOT: attaching ``ControlPlane()`` keeps
+            # today's engines and their benchmark hashes bit for bit.
+            from repro.cluster.control_engine import (
+                run_control_event,
+                run_control_vectorized,
+            )
+
+            if not isinstance(queue, KeyedPolicy):
+                raise ConfigurationError(
+                    "the control plane requires a keyed policy (one "
+                    "built on repro.cluster.policy_keys.PolicyKey); got "
+                    f"{type(queue).__name__}"
+                )
+            timeline = self._fault_timeline(trace)
+            retry = self._retry if self._retry is not None else RetryPolicy()
+            if engine != "event" and self._time_ordered(trace):
+                return run_control_vectorized(
+                    self, queue, trace, sample_interval_seconds,
+                    timeline, retry, self._control,
+                )
+            return run_control_event(
+                self, queue, trace, sample_interval_seconds,
+                timeline, retry, self._control,
+            )
 
         if self._chaos_active():
             # Fault injection / retry changes the dynamics, so inert
@@ -503,6 +579,10 @@ class RackSimulation:
         return (self._faults is not None and self._faults.active) or (
             self._retry is not None and self._retry.active
         )
+
+    def _control_active(self) -> bool:
+        """Whether the closed-loop control plane is engaged."""
+        return self._control is not None and self._control.active
 
     def _fault_timeline(self, trace: RequestTrace) -> FaultTimeline:
         """Materialize the fault schedule over the trace horizon."""

@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster.control import ControlPlane
 from repro.cluster.faults import DROP_REASONS, FaultSchedule, RetryPolicy
 from repro.cluster.schedulers import PolicyFactory
 from repro.cluster.simulation import (
@@ -95,6 +96,7 @@ class RackScenario:
     seed: int = 13
     faults: Optional[FaultSchedule] = None
     retry: Optional[RetryPolicy] = None
+    control: Optional[ControlPlane] = None
 
     def label(self) -> str:
         parts = [
@@ -109,6 +111,14 @@ class RackScenario:
             parts.append("faults")
         if self.retry is not None and self.retry.active:
             parts.append("retry")
+        if self.control is not None and self.control.active:
+            if self.control.autoscaler is not None:
+                parts.append(f"scale:{self.control.autoscaler.policy}")
+            if (
+                self.control.overload is not None
+                and self.control.overload.active
+            ):
+                parts.append("shed")
         return " | ".join(parts)
 
 
@@ -169,6 +179,8 @@ class ScenarioResult:
         columns["crash_kills"] = self.series.crash_kills
         columns["hedges_launched"] = self.series.hedges_launched
         columns["hedge_wins"] = self.series.hedge_wins
+        columns["scale_ups"] = self.series.scale_ups
+        columns["scale_downs"] = self.series.scale_downs
         return columns
 
     def summary(self) -> Dict[str, object]:
@@ -222,6 +234,7 @@ def scenario_grid(
     seed: int = 13,
     faults: Optional[FaultSchedule] = None,
     retry: Optional[RetryPolicy] = None,
+    control: Optional[ControlPlane] = None,
 ) -> List[RackScenario]:
     """The full cross product, ordered platform-major for cache locality."""
     return [
@@ -235,6 +248,7 @@ def scenario_grid(
             seed=seed,
             faults=faults,
             retry=retry,
+            control=control,
         )
         for platform in platforms
         for rate_scale in rate_scales
@@ -349,6 +363,7 @@ class RackSweep:
             sample_cache=cache,
             faults=scenario.faults,
             retry=scenario.retry,
+            control=scenario.control,
         )
         if trace is None:
             trace = self.trace_for(scenario.seed, scenario.rate_scale)

@@ -384,6 +384,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig16",
     "repro.experiments.fig17",
     "repro.experiments.chaos",
+    "repro.experiments.control",
 )
 
 

@@ -194,3 +194,129 @@ class TestServiceSamplePool:
         draws = [sim._service_time(app_name) for _ in range(100)]
         pool = sim._service_samples[app_name]
         assert draws == [float(x) for x in pool[:100]]
+
+
+class TestTraceValidation:
+    """Malformed rates and durations fail loudly at construction —
+    before they can poison tick grids or Poisson draws downstream."""
+
+    @pytest.mark.parametrize(
+        "envelope",
+        [
+            (100.0, -5.0, 100.0),
+            (100.0, float("nan"), 100.0),
+            (float("inf"), 100.0),
+        ],
+    )
+    def test_negative_or_non_finite_rate_rejected(self, suite, envelope):
+        with pytest.raises(ConfigurationError, match="rate"):
+            TraceGenerator(list(suite), rate_envelope=envelope)
+
+    def test_zero_rate_segment_is_legal(self, suite):
+        generator = TraceGenerator(
+            list(suite), rate_envelope=(0.0, 5.0), segment_seconds=10.0
+        )
+        trace = generator.generate(np.random.default_rng(0))
+        assert np.all(trace.arrival_seconds >= 10.0)
+
+    @pytest.mark.parametrize(
+        "segment", [0.0, -30.0, float("nan"), float("inf")]
+    )
+    def test_invalid_segment_rejected(self, suite, segment):
+        with pytest.raises(ConfigurationError, match="segment"):
+            TraceGenerator(
+                list(suite), rate_envelope=(5.0,), segment_seconds=segment
+            )
+
+    @pytest.mark.parametrize("duration", [float("nan"), -1.0])
+    def test_invalid_trace_duration_rejected(self, duration):
+        from repro.cluster.trace import RequestTrace
+
+        with pytest.raises(ConfigurationError, match="duration"):
+            RequestTrace(
+                arrival_seconds=np.array([0.5]),
+                app_names=("f",),
+                duration_seconds=duration,
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.cluster.trace import RequestTrace
+
+        with pytest.raises(ConfigurationError):
+            RequestTrace(
+                arrival_seconds=np.array([0.5, 1.0]),
+                app_names=("f",),
+                duration_seconds=10.0,
+            )
+
+
+class TestAvailabilityEdgeCases:
+    """An empty trace (or bucket) has nothing to account for, so
+    availability is undefined rather than perfect: NaN, never 1.0."""
+
+    def test_empty_trace_availability_is_nan(self, suite):
+        from repro.cluster.trace import RequestTrace
+
+        model = ServerlessExecutionModel(platform=baseline_cpu())
+        trace = RequestTrace(
+            arrival_seconds=np.array([]),
+            app_names=(),
+            duration_seconds=10.0,
+        )
+        series = RackSimulation(model, suite, max_instances=4).run(trace)
+        assert series.total_requests == 0
+        assert np.isnan(series.availability)
+
+    def test_zero_request_series_availability_is_nan(self):
+        from repro.cluster.simulation import SimulationSeries
+
+        series = SimulationSeries(
+            sample_times=np.array([]),
+            queue_depth=np.array([], dtype=np.int64),
+            busy_instances=np.array([], dtype=np.int64),
+            completed_latency_seconds=np.array([]),
+            completed_times=np.array([]),
+            dropped_requests=0,
+            total_requests=0,
+        )
+        assert np.isnan(series.availability)
+
+    def test_nonempty_series_availability_is_a_fraction(self, suite):
+        model = ServerlessExecutionModel(platform=baseline_cpu())
+        series = RackSimulation(model, suite, max_instances=4).run(
+            small_trace(suite)
+        )
+        assert 0.0 < series.availability <= 1.0
+
+    def test_buckets_without_terminations_are_nan(self):
+        from repro.cluster.simulation import SimulationSeries
+
+        series = SimulationSeries(
+            sample_times=np.arange(0.0, 200.0),
+            queue_depth=np.zeros(200, dtype=np.int64),
+            busy_instances=np.zeros(200, dtype=np.int64),
+            completed_latency_seconds=np.array([0.2]),
+            completed_times=np.array([10.0]),
+            dropped_requests=0,
+            total_requests=1,
+        )
+        per_bucket = series.availability_per_bucket(60.0)
+        assert len(per_bucket) == 4
+        assert per_bucket[0] == pytest.approx(1.0)
+        # No request completed or dropped in the later buckets: their
+        # availability is undefined, not a silent 100%.
+        assert np.all(np.isnan(per_bucket[1:]))
+
+    def test_empty_series_per_bucket_is_empty(self):
+        from repro.cluster.simulation import SimulationSeries
+
+        series = SimulationSeries(
+            sample_times=np.array([]),
+            queue_depth=np.array([], dtype=np.int64),
+            busy_instances=np.array([], dtype=np.int64),
+            completed_latency_seconds=np.array([]),
+            completed_times=np.array([]),
+            dropped_requests=0,
+            total_requests=0,
+        )
+        assert len(series.availability_per_bucket(60.0)) == 0

@@ -1,0 +1,566 @@
+"""Control-plane units: knob validation, the controller state machine,
+warmup accounting, and simulation routing.
+
+The bit-identity of the two control engines lives in
+``tests/test_control_equivalence.py``; this file pins the pieces those
+engines share — :class:`ControllerState` decisions, policy knob
+validation, and the routing rules in :class:`RackSimulation`.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.control import (
+    SCALING_POLICIES,
+    AutoscalerPolicy,
+    ControllerState,
+    ControlPlane,
+    OverloadPolicy,
+    observer_plane,
+    warmup_from_coldstart,
+)
+from repro.cluster.simulation import RackSimulation
+from repro.cluster.trace import RequestTrace, TraceGenerator
+from repro.core.model import ServerlessExecutionModel
+from repro.errors import ConfigurationError
+from repro.experiments.benchmarks import benchmark_suite
+from repro.platforms.registry import baseline_cpu
+from repro.serverless.coldstart import ColdStartModel
+from repro.storage.drive import DSCSDrive
+from repro.units import MB_DEC
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return benchmark_suite()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ServerlessExecutionModel(platform=baseline_cpu())
+
+
+def small_trace(suite, scale=0.02, seed=1):
+    generator = TraceGenerator(
+        list(suite),
+        rate_envelope=tuple(r * scale for r in (250, 800, 250)),
+        segment_seconds=20.0,
+    )
+    return generator.generate(np.random.default_rng(seed))
+
+
+class TestKnobValidation:
+    def test_unknown_scaling_policy(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerPolicy(policy="predictive")
+
+    def test_scaling_policies_are_the_known_set(self):
+        assert SCALING_POLICIES == ("target_utilization", "queue_depth")
+
+    @pytest.mark.parametrize("minimum", [0, -3])
+    def test_min_instances_floor(self, minimum):
+        with pytest.raises(ConfigurationError):
+            AutoscalerPolicy(min_instances=minimum)
+
+    def test_initial_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerPolicy(min_instances=4, initial_instances=2)
+
+    @pytest.mark.parametrize("target", [0.0, 1.5, -0.1])
+    def test_target_utilization_range(self, target):
+        with pytest.raises(ConfigurationError):
+            AutoscalerPolicy(target_utilization=target)
+
+    def test_non_positive_queue_per_instance(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalerPolicy(queue_per_instance=0.0)
+
+    @pytest.mark.parametrize(
+        "knob",
+        [
+            "scale_up_cooldown_seconds",
+            "scale_down_cooldown_seconds",
+            "warmup_seconds",
+        ],
+    )
+    @pytest.mark.parametrize("value", [-1.0, float("nan"), float("inf")])
+    def test_autoscaler_time_knobs(self, knob, value):
+        with pytest.raises(ConfigurationError):
+            AutoscalerPolicy(**{knob: value})
+
+    @pytest.mark.parametrize(
+        "knob",
+        [
+            "admission_rate_rps",
+            "queue_delay_target_seconds",
+            "latency_slo_seconds",
+            "breaker_failure_threshold",
+        ],
+    )
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
+    def test_overload_optional_knobs_must_be_positive(self, knob, value):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(**{knob: value})
+
+    def test_breaker_threshold_is_a_fraction(self):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(breaker_failure_threshold=1.5)
+
+    def test_non_positive_burst(self):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(admission_burst_seconds=0.0)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_shed_fraction_range(self, fraction):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(shed_fraction=fraction)
+
+    def test_negative_min_shed_priority(self):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(min_shed_priority=-1)
+
+    def test_breaker_min_failures_floor(self):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(breaker_min_failures=0)
+
+    def test_non_positive_breaker_open(self):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(breaker_open_seconds=0.0)
+
+    @pytest.mark.parametrize("interval", [0.0, -1.0, float("nan")])
+    def test_control_interval(self, interval):
+        with pytest.raises(ConfigurationError):
+            ControlPlane(control_interval_seconds=interval)
+
+
+class TestActivation:
+    def test_inert_plane_is_inactive(self):
+        assert not ControlPlane().active
+        assert not OverloadPolicy().active
+
+    def test_plane_with_inactive_overload_is_inactive(self):
+        assert not ControlPlane(overload=OverloadPolicy()).active
+
+    def test_autoscaler_activates(self):
+        assert ControlPlane(autoscaler=AutoscalerPolicy()).active
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"admission_rate_rps": 10.0},
+            {"queue_delay_target_seconds": 0.5},
+            {"latency_slo_seconds": 1.0},
+            {"breaker_failure_threshold": 0.5},
+        ],
+    )
+    def test_each_overload_mechanism_activates(self, knobs):
+        policy = OverloadPolicy(**knobs)
+        assert policy.active
+        assert ControlPlane(overload=policy).active
+
+    def test_priorities_frozen_against_caller_mutation(self):
+        ranks = {"b": 1, "a": 0}
+        policy = OverloadPolicy(
+            queue_delay_target_seconds=0.5, priorities=ranks
+        )
+        ranks["a"] = 99
+        assert policy.priorities == (("a", 0), ("b", 1))
+        assert policy.priority_map() == {"a": 0, "b": 1}
+
+
+class TestWarmupFromColdstart:
+    def test_without_drive_pays_full_cold_start(self):
+        coldstart = ColdStartModel()
+        image = 120 * MB_DEC
+        assert warmup_from_coldstart(coldstart, image) == pytest.approx(
+            coldstart.cold_start_seconds(image)
+        )
+
+    def test_with_drive_uses_p2p_reload(self):
+        coldstart = ColdStartModel()
+        drive = DSCSDrive()
+        image = 120 * MB_DEC
+        warmup = warmup_from_coldstart(coldstart, image, drive=drive)
+        assert warmup == pytest.approx(
+            coldstart.p2p_reload_seconds(image, drive)
+        )
+        assert warmup < coldstart.cold_start_seconds(image)
+
+
+def state_for(plane, max_instances=10, apps=("a", "b", "c")):
+    return ControllerState(plane, max_instances, list(apps))
+
+
+class TestControllerScaling:
+    def test_initial_live_defaults_to_min(self):
+        state = state_for(
+            ControlPlane(autoscaler=AutoscalerPolicy(min_instances=3))
+        )
+        assert state.live == 3
+        assert state.live_log == [(0.0, 3)]
+
+    def test_initial_instances_respected_and_clamped(self):
+        state = state_for(
+            ControlPlane(
+                autoscaler=AutoscalerPolicy(
+                    min_instances=2, initial_instances=50
+                )
+            ),
+            max_instances=8,
+        )
+        assert state.live == 8
+
+    def test_no_autoscaler_pins_live_to_ceiling(self):
+        state = state_for(
+            ControlPlane(overload=OverloadPolicy(admission_rate_rps=5.0)),
+            max_instances=7,
+        )
+        assert state.live == 7
+        state.on_tick(1.0, busy=7, queue_len=100, head_wait=None)
+        assert state.live == 7 and state.scale_ups == 0
+
+    def test_target_utilization_scale_up_immediate(self):
+        state = state_for(
+            ControlPlane(
+                autoscaler=AutoscalerPolicy(
+                    min_instances=1, target_utilization=0.5
+                )
+            )
+        )
+        shed, activation = state.on_tick(
+            1.0, busy=4, queue_len=0, head_wait=None
+        )
+        assert shed == 0 and activation is None
+        assert state.live == 8  # ceil(4 / 0.5)
+        assert state.scale_ups == 1
+        assert state.live_log[-1] == (1.0, 8)
+
+    def test_queue_depth_formula(self):
+        state = state_for(
+            ControlPlane(
+                autoscaler=AutoscalerPolicy(
+                    policy="queue_depth",
+                    min_instances=1,
+                    queue_per_instance=4.0,
+                    scale_down_cooldown_seconds=0.0,
+                )
+            ),
+            max_instances=100,
+        )
+        state.on_tick(1.0, busy=3, queue_len=10, head_wait=None)
+        assert state.live == 3 + math.ceil(10 / 4.0)
+
+    def test_desired_clamped_to_ceiling(self):
+        state = state_for(
+            ControlPlane(
+                autoscaler=AutoscalerPolicy(
+                    min_instances=1, target_utilization=0.5
+                )
+            ),
+            max_instances=6,
+        )
+        state.on_tick(1.0, busy=100, queue_len=0, head_wait=None)
+        assert state.live == 6
+
+    def test_scale_down_cooldown(self):
+        state = state_for(
+            ControlPlane(
+                autoscaler=AutoscalerPolicy(
+                    min_instances=1,
+                    target_utilization=0.5,
+                    scale_down_cooldown_seconds=5.0,
+                )
+            )
+        )
+        state.on_tick(0.0, busy=4, queue_len=0, head_wait=None)
+        assert state.live == 8
+        state.on_tick(1.0, busy=2, queue_len=0, head_wait=None)
+        assert state.live == 4 and state.scale_downs == 1
+        # Inside the cooldown window: the lower desired is ignored.
+        state.on_tick(2.0, busy=1, queue_len=0, head_wait=None)
+        assert state.live == 4 and state.scale_downs == 1
+        state.on_tick(6.5, busy=1, queue_len=0, head_wait=None)
+        assert state.live == 2 and state.scale_downs == 2
+
+    def test_warmup_defers_scale_up(self):
+        state = state_for(
+            ControlPlane(
+                autoscaler=AutoscalerPolicy(
+                    min_instances=2,
+                    target_utilization=0.5,
+                    warmup_seconds=3.0,
+                )
+            )
+        )
+        _, activation = state.on_tick(
+            1.0, busy=3, queue_len=0, head_wait=None
+        )
+        assert activation == (4.0, 6)
+        assert state.live == 2  # nothing serves until the warmup expires
+        assert state.live_target == 6
+        state.activate(4.0, 6)
+        assert state.live == 6
+        assert state.live_log[-1] == (4.0, 6)
+
+    def test_scale_down_during_warmup_wins(self):
+        state = state_for(
+            ControlPlane(
+                autoscaler=AutoscalerPolicy(
+                    min_instances=2,
+                    target_utilization=0.5,
+                    warmup_seconds=3.0,
+                    scale_down_cooldown_seconds=0.0,
+                )
+            )
+        )
+        _, activation = state.on_tick(
+            1.0, busy=4, queue_len=0, head_wait=None
+        )
+        assert activation == (4.0, 8)
+        state.on_tick(2.0, busy=2, queue_len=0, head_wait=None)
+        assert state.live_target == 4
+        state.activate(4.0, 8)
+        assert state.live == 4  # clamped by the newer, lower target
+
+    def test_activate_never_shrinks(self):
+        state = state_for(
+            ControlPlane(
+                autoscaler=AutoscalerPolicy(
+                    min_instances=2, target_utilization=0.5
+                )
+            )
+        )
+        state.on_tick(1.0, busy=4, queue_len=0, head_wait=None)
+        assert state.live == 8
+        state.activate(2.0, 5)  # stale smaller activation
+        assert state.live == 8
+
+
+class TestControllerGating:
+    def tokens_plane(self, rate=2.0, burst=2.0, interval=1.0):
+        return ControlPlane(
+            overload=OverloadPolicy(
+                admission_rate_rps=rate, admission_burst_seconds=burst
+            ),
+            control_interval_seconds=interval,
+        )
+
+    def test_bucket_starts_full_and_sheds_when_empty(self):
+        state = state_for(self.tokens_plane())
+        admitted = [state.admit(0) for _ in range(5)]
+        assert admitted == [True, True, True, True, False]
+        assert state.tokens == pytest.approx(0.0)
+
+    def test_refill_quantized_to_ticks_and_capped(self):
+        state = state_for(self.tokens_plane(rate=2.0, burst=2.0))
+        for _ in range(4):
+            assert state.admit(0)
+        state.on_tick(1.0, busy=0, queue_len=0, head_wait=None)
+        assert state.tokens == pytest.approx(2.0)
+        state.on_tick(2.0, busy=0, queue_len=0, head_wait=None)
+        state.on_tick(3.0, busy=0, queue_len=0, head_wait=None)
+        assert state.tokens == pytest.approx(4.0)  # capped at the bucket
+
+    def test_gate_mask_matches_sequential_admit(self):
+        sequential = state_for(self.tokens_plane(rate=3.0, burst=1.0))
+        vectorized = state_for(self.tokens_plane(rate=3.0, burst=1.0))
+        arrivals = np.array([0, 1, 2, 0, 1, 2], dtype=np.int64)
+
+        expected = [sequential.admit(int(app)) for app in arrivals]
+        mask = vectorized.gate_mask(arrivals)
+        assert mask.tolist() == expected
+        # gate_mask is pure; the balance moves only on consume().
+        assert vectorized.tokens == pytest.approx(3.0)
+        vectorized.consume(int(mask.sum()))
+        assert vectorized.tokens == pytest.approx(sequential.tokens)
+
+    def test_gate_mask_respects_blocked_apps(self):
+        state = state_for(self.tokens_plane(rate=100.0))
+        state.app_blocked[1] = True
+        mask = state.gate_mask(np.array([0, 1, 2, 1], dtype=np.int64))
+        assert mask.tolist() == [True, False, True, False]
+        assert not state.admit(1)
+
+    def test_codel_shed_count(self):
+        plane = ControlPlane(
+            overload=OverloadPolicy(
+                queue_delay_target_seconds=0.5, shed_fraction=0.25
+            )
+        )
+        state = state_for(plane)
+        shed, _ = state.on_tick(1.0, busy=0, queue_len=10, head_wait=1.0)
+        assert shed == 3  # max(1, ceil(0.25 * 10))
+        shed, _ = state.on_tick(2.0, busy=0, queue_len=10, head_wait=0.2)
+        assert shed == 0
+        # At least one victim whenever the delay target is breached,
+        # even when the fraction rounds to zero.
+        shed, _ = state.on_tick(3.0, busy=0, queue_len=2, head_wait=1.0)
+        assert shed == 1
+
+    def test_brownout_ladder_walks_and_recovers(self):
+        plane = ControlPlane(
+            overload=OverloadPolicy(
+                queue_delay_target_seconds=0.5,
+                priorities={"a": 0, "b": 1, "c": 2},
+                min_shed_priority=1,
+            )
+        )
+        state = state_for(plane)
+        assert not state.app_blocked.any()
+
+        state.on_tick(1.0, busy=0, queue_len=4, head_wait=1.0)
+        assert state.app_blocked.tolist() == [False, False, True]
+        state.on_tick(2.0, busy=0, queue_len=4, head_wait=1.0)
+        assert state.app_blocked.tolist() == [False, True, True]
+        # The floor: criticality 0 is never shed, however long the
+        # overload persists — brownout, not blackout.
+        state.on_tick(3.0, busy=0, queue_len=4, head_wait=1.0)
+        assert state.app_blocked.tolist() == [False, True, True]
+
+        state.on_tick(4.0, busy=0, queue_len=0, head_wait=None)
+        assert state.app_blocked.tolist() == [False, False, True]
+        state.on_tick(5.0, busy=0, queue_len=0, head_wait=None)
+        assert not state.app_blocked.any()
+
+    def test_breaker_trips_and_reopens(self):
+        plane = ControlPlane(
+            overload=OverloadPolicy(
+                breaker_failure_threshold=0.5,
+                breaker_min_failures=2,
+                breaker_open_seconds=10.0,
+            )
+        )
+        state = state_for(plane)
+        state.record_failure(0)
+        state.record_failure(0)
+        state.record_completion(0, 0.1)
+        state.record_completion(1, 0.1)
+        state.on_tick(0.0, busy=0, queue_len=0, head_wait=None)
+        assert state.breaker_trips == 1
+        assert state.app_blocked.tolist() == [True, False, False]
+        assert not state.admit(0) and state.admit(1)
+
+        # Healthy window after the open period: the app is readmitted.
+        state.on_tick(11.0, busy=0, queue_len=0, head_wait=None)
+        assert not state.app_blocked.any()
+
+    def test_breaker_needs_both_count_and_fraction(self):
+        plane = ControlPlane(
+            overload=OverloadPolicy(
+                breaker_failure_threshold=0.5, breaker_min_failures=5
+            )
+        )
+        state = state_for(plane)
+        state.record_failure(0)
+        state.record_failure(0)
+        state.on_tick(0.0, busy=0, queue_len=0, head_wait=None)
+        assert state.breaker_trips == 0  # 2 failures < min_failures
+
+        # Windows reset each tick: old failures don't accumulate.
+        for _ in range(3):
+            state.record_failure(0)
+        state.on_tick(1.0, busy=0, queue_len=0, head_wait=None)
+        assert state.breaker_trips == 0  # 3 < 5 in this window
+
+    def test_gating_disabled_admits_everything(self):
+        state = state_for(
+            ControlPlane(autoscaler=AutoscalerPolicy(min_instances=2))
+        )
+        assert not state.gating_active
+        assert all(state.admit(app) for app in (0, 1, 2))
+        assert state.gate_mask(np.array([0, 1, 2], dtype=np.int64)).all()
+
+
+class TestShedVictims:
+    def test_picks_largest_keys_worst_first(self):
+        entries = [
+            (0, (5, 0)),
+            (1, (2, 1)),
+            (2, (9, 2)),
+            (3, (9, 3)),
+        ]
+        assert ControllerState.shed_victims(entries, 2) == [3, 2]
+
+    def test_zero_count_and_empty_queue(self):
+        assert ControllerState.shed_victims([(0, (1, 0))], 0) == []
+        assert ControllerState.shed_victims([], 5) == []
+
+    def test_count_beyond_queue_sheds_all(self):
+        entries = [(0, (1, 0)), (1, (2, 1))]
+        assert ControllerState.shed_victims(entries, 10) == [1, 0]
+
+
+class TestRouting:
+    def test_inert_plane_changes_nothing(self, suite, model):
+        trace = small_trace(suite)
+
+        def run(control):
+            return RackSimulation(
+                model, suite, max_instances=8, seed=3, control=control
+            ).run(trace)
+
+        inert = RackSimulation(
+            model, suite, max_instances=8, seed=3, control=ControlPlane()
+        )
+        assert not inert._control_active()
+        assert run(ControlPlane()).identical_to(run(None))
+
+    def test_control_requires_keyed_policy(self, suite, model):
+        class NotKeyed:
+            pass
+
+        class StubFactory:
+            def build(self):
+                return NotKeyed()
+
+        simulation = RackSimulation(
+            model,
+            suite,
+            max_instances=8,
+            seed=3,
+            policy=StubFactory(),
+            control=observer_plane(8),
+        )
+        with pytest.raises(ConfigurationError, match="keyed policy"):
+            simulation.run(small_trace(suite))
+
+    def test_control_series_carries_telemetry(self, suite, model):
+        trace = small_trace(suite)
+        series = RackSimulation(
+            model,
+            suite,
+            max_instances=8,
+            seed=3,
+            control=ControlPlane(
+                autoscaler=AutoscalerPolicy(min_instances=2)
+            ),
+        ).run(trace)
+        assert len(series.live_instances) == len(series.sample_times)
+        assert series.app_catalog  # the catalog names every trace app
+        assert set(trace.app_names) <= set(series.app_catalog)
+        assert len(series.completed_app_ids) == len(series.completed_times)
+
+    def test_completed_latencies_for_apps_partitions_total(
+        self, suite, model
+    ):
+        trace = small_trace(suite)
+        series = RackSimulation(
+            model,
+            suite,
+            max_instances=8,
+            seed=3,
+            control=observer_plane(8),
+        ).run(trace)
+        per_app = [
+            len(series.completed_latencies_for_apps([name]))
+            for name in series.app_catalog
+        ]
+        assert sum(per_app) == len(series.completed_latency_seconds)
+
+    def test_latencies_for_apps_empty_without_record(self, suite, model):
+        series = RackSimulation(model, suite, max_instances=8, seed=3).run(
+            small_trace(suite)
+        )
+        assert len(series.completed_latencies_for_apps(list(suite))) == 0

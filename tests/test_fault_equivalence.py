@@ -328,6 +328,9 @@ def _digest(*parts) -> str:
 
 
 def _series_digest(series_by_platform) -> str:
+    """``scripts/bench_common.series_digest`` re-stated: the full series,
+    drop times *and reasons*, availability counters, and the per-reason
+    drop breakdown (including ``shed``)."""
     parts = []
     for name in sorted(series_by_platform):
         series = series_by_platform[name]
@@ -338,8 +341,14 @@ def _series_digest(series_by_platform) -> str:
                 series.completed_times.tobytes(),
                 series.queue_depth.tobytes(),
                 series.busy_instances.tobytes(),
+                series.dropped_times.tobytes(),
+                series.dropped_reasons.tobytes(),
                 series.dropped_requests,
                 series.total_requests,
+                series.retries,
+                series.timeouts,
+                series.crash_kills,
+                tuple(sorted(series.drop_breakdown().items())),
             ]
         )
     return _digest(*parts)

@@ -243,7 +243,7 @@ class TestFaultTimeline:
 class TestDropReasons:
     def test_reason_table_is_stable(self):
         # Telemetry (CSV columns, breakdown keys) depends on this order.
-        assert DROP_REASONS == ("queue_full", "timeout", "crashed")
+        assert DROP_REASONS == ("queue_full", "timeout", "crashed", "shed")
 
 
 class TestChaosRouting:

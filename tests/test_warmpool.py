@@ -87,3 +87,52 @@ def test_interleaved_functions_share_pool():
         timeline.append((float(2 * t + 1), "b"))
     stats = p.replay(timeline)
     assert stats.cold_invocations == 2  # one per function
+
+
+class TestLRUEviction:
+    """Bounded-capacity eviction details: tie-breaks, flash parking
+    interplay, and the re-warm cycle after keep-alive expiry."""
+
+    def test_lru_tie_break_evicts_earliest_inserted(self):
+        p = pool(capacity=2)
+        p.invoke("a", now=0.0)
+        p.invoke("b", now=0.0)  # same timestamp: insertion order breaks it
+        p.invoke("c", now=1.0)
+        assert p.resident_functions == ["b", "c"]
+
+    def test_recent_touch_updates_lru_order(self):
+        p = pool(capacity=2)
+        p.invoke("a", now=0.0)
+        p.invoke("b", now=1.0)
+        p.invoke("a", now=2.0)  # 'a' is now the most recent
+        p.invoke("c", now=3.0)
+        assert p.resident_functions == ["a", "c"]
+
+    def test_eviction_without_flash_parking_forgets_image(self):
+        p = pool(capacity=2, flash=False)
+        p.invoke("a", now=0.0)
+        p.invoke("b", now=1.0)
+        p.invoke("c", now=2.0)  # evicts 'a', nothing parked
+        cold, reload = p.invoke("a", now=3.0)
+        assert cold and not reload
+
+    def test_rewarm_cycle_after_keepalive_expiry(self):
+        p = pool(window=100.0)
+        p.invoke("f", now=0.0)
+        cold, reload = p.invoke("f", now=200.0)
+        assert cold and reload  # parked at expiry, P2P reload
+        cold, _ = p.invoke("f", now=250.0)
+        assert not cold  # resident again inside the fresh window
+        cold, reload = p.invoke("f", now=400.0)
+        assert cold and reload  # the park/reload cycle repeats
+
+    def test_expiry_frees_capacity_before_lru(self):
+        p = pool(window=100.0, capacity=2)
+        p.invoke("a", now=0.0)
+        p.invoke("b", now=90.0)
+        # 'a' is past its keep-alive at t=150: it ages out, so 'b' is
+        # NOT the LRU victim and stays warm.
+        p.invoke("c", now=150.0)
+        assert p.resident_functions == ["b", "c"]
+        cold, _ = p.invoke("b", now=160.0)
+        assert not cold
