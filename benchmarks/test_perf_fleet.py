@@ -1,0 +1,80 @@
+"""Perf harness: sharded fleet runner vs the serial event-driven stitch.
+
+Shards the fig13 trace across a multi-rack fleet and checks both that the
+sharded vectorized run stitches bit-identically to the serial oracle
+(per-rack + merged fleet hashes) and that it actually wins.
+``scripts/bench_fleet.py`` times the full study (including the
+serial-vectorized control that isolates the parallel component) and
+records the trajectory in ``BENCH_fleet.json``.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.cluster.fleet import FleetTopology, GlobalLoadBalancer
+from repro.cluster.fleet_engine import FleetRunner
+from repro.cluster.trace import TraceGenerator
+from repro.experiments.common import BASELINE_NAME, build_context
+
+# Below this the shards are too small for engine overheads to dominate.
+MIN_TRACE_REQUESTS = 50_000
+
+RACKS = 8
+
+
+@pytest.mark.slow
+def test_sharded_fleet_beats_serial_event_stitch(benchmark):
+    context = build_context(platform_names=[BASELINE_NAME])
+    trace = TraceGenerator(context.app_names).generate(
+        np.random.default_rng(13)
+    )
+    if len(trace) < MIN_TRACE_REQUESTS:
+        pytest.skip(f"trace too small to benchmark: {len(trace)} requests")
+    topology = FleetTopology.uniform(
+        RACKS, BASELINE_NAME, max_instances=50, seed=13
+    )
+    workers = min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) > 1 else 2
+
+    def timed_run(engine, n_workers):
+        runner = FleetRunner(
+            context, balancer=GlobalLoadBalancer("round_robin"), engine=engine
+        )
+        start = time.perf_counter()
+        result = runner.run(topology, trace, workers=n_workers)
+        return result, time.perf_counter() - start
+
+    event_result, event_s = timed_run("event", 1)
+    sharded_result, sharded_s = benchmark.pedantic(
+        lambda: timed_run("vectorized", workers), rounds=1, iterations=1
+    )
+
+    # The sampled/sharded run must reproduce the monolithic-oracle stitch
+    # exactly: every per-rack hash and the merged fleet hash.
+    assert sharded_result.identical_to(event_result)
+    speedup = event_s / sharded_s if sharded_s > 0 else float("inf")
+    print_table(
+        f"fleet engines ({len(trace)} requests, {RACKS} racks)",
+        [
+            {
+                "engine": "serial event-driven stitch (oracle)",
+                "wall_s": round(event_s, 3),
+                "req/s": round(len(trace) / event_s),
+            },
+            {
+                "engine": f"sharded vectorized ({workers} workers)",
+                "wall_s": round(sharded_s, 3),
+                "req/s": round(len(trace) / sharded_s),
+            },
+        ],
+    )
+    print(f"speedup: {speedup:.1f}x (stitch bit-identical)")
+    benchmark.extra_info["speedup_vs_event"] = round(speedup, 2)
+    benchmark.extra_info["workers"] = workers
+    # Loose bound so CI variance (and single-core runners, where the
+    # pool adds overhead instead of parallelism) cannot flake; the
+    # vectorized engines alone clear this by an order of magnitude.
+    assert speedup >= 3.0

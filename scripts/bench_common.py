@@ -7,6 +7,8 @@ two agree, and records one uniform JSON schema::
     {
       "benchmark":   "<name>",
       "workload":    {...},                  # script-specific knobs/sizes
+      "workers":     <int>,                  # process-pool size of the fast
+                                             # engine (absent when serial)
       "machine":     {python, implementation, machine, cpu_count},
       "engines": {
         "fast":   {engine, wall_clock_s, per_second},
@@ -119,14 +121,23 @@ def build_record(
     fast: Dict[str, Any],
     oracle: Optional[Dict[str, Any]] = None,
     check_hash: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """Assemble the uniform record; speedup only when the oracle ran."""
+    """Assemble the uniform record; speedup only when the oracle ran.
+
+    ``workers`` records the process-pool size behind the fast engine's
+    timing (sharded fleet / DSE runs); omit it for serial engines so a
+    sharded artifact is distinguishable — and reproducible — from the
+    JSON alone.
+    """
     record: Dict[str, Any] = {
         "benchmark": benchmark,
         "workload": workload,
         "machine": machine_info(),
         "engines": {"fast": fast},
     }
+    if workers is not None:
+        record["workers"] = int(workers)
     if oracle is not None:
         record["engines"]["oracle"] = oracle
         record["speedup"] = round(

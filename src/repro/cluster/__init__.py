@@ -31,6 +31,16 @@ protection (token-bucket admission, CoDel-style queue-delay shedding,
 brownout by criticality, per-app circuit breakers) — again through two
 bit-identical engines (:mod:`repro.cluster.control_engine`), with every
 shed recorded under the terminal ``shed`` drop reason.
+
+The fleet layer (:mod:`repro.cluster.fleet`) scales all of the above to
+a multi-rack datacenter: a :class:`~repro.cluster.fleet.FleetTopology`
+of independently-seeded racks under a deterministic
+:class:`~repro.cluster.fleet.GlobalLoadBalancer` (round-robin /
+weighted / hash-affinity) that shards one fleet-level trace *before*
+fan-out, so the sharded :class:`~repro.cluster.fleet_engine.FleetRunner`
+(process-pool) stitches bit-identically to a serial oracle — per-rack
+check hashes plus a merged fleet hash — and fleet tail latency comes
+from mergeable :class:`~repro.sim.stats.QuantileSketch` accumulators.
 """
 
 from repro.cluster.control import (
@@ -46,6 +56,19 @@ from repro.cluster.faults import (
     FaultSchedule,
     FaultTimeline,
     RetryPolicy,
+)
+from repro.cluster.fleet import (
+    LB_POLICIES,
+    FleetTopology,
+    GlobalLoadBalancer,
+    RackSpec,
+    derive_rack_seed,
+)
+from repro.cluster.fleet_engine import (
+    FleetResult,
+    FleetRunner,
+    RackShardResult,
+    series_check_hash,
 )
 from repro.cluster.policy_keys import (
     KeyedQueue,
@@ -88,7 +111,16 @@ __all__ = [
     "SCALING_POLICIES",
     "FaultSchedule",
     "FaultTimeline",
+    "FleetResult",
+    "FleetRunner",
+    "FleetTopology",
+    "GlobalLoadBalancer",
+    "LB_POLICIES",
+    "RackShardResult",
+    "RackSpec",
     "RetryPolicy",
+    "derive_rack_seed",
+    "series_check_hash",
     "KeyedPolicy",
     "KeyedQueue",
     "PolicyFactory",

@@ -131,9 +131,23 @@ class ScenarioResult:
 
     @property
     def mean_latency_seconds(self) -> float:
+        """Mean completed latency; NaN when the cell completed nothing.
+
+        A scenario that drops every request (tiny fleet under heavy
+        overload, or a fault schedule that kills everything) has no
+        latency to average — NaN, matching the availability
+        NaN-on-empty convention, rather than a misleading 0.0.
+        """
+        if len(self.series.completed_latency_seconds) == 0:
+            return float("nan")
         return self.series.mean_latency_seconds
 
     def latency_percentile(self, percentile: float) -> float:
+        """Completed-latency percentile; NaN when nothing completed."""
+        if not 0 <= percentile <= 100:
+            raise ConfigurationError(
+                f"percentile out of range: {percentile}"
+            )
         latencies = self.series.completed_latency_seconds
         if len(latencies) == 0:
             return float("nan")

@@ -1,0 +1,290 @@
+"""fig13-fleet: the Fig. 13 workload at datacenter scale.
+
+One fleet-level bursty trace is split by a deterministic
+:class:`~repro.cluster.fleet.GlobalLoadBalancer` across N racks (each a
+full :class:`~repro.cluster.simulation.RackSimulation`), simulated
+serially or across a process pool by
+:class:`~repro.cluster.fleet_engine.FleetRunner`, and stitched back with
+per-rack sha256 check hashes plus a merged fleet hash — identical either
+way.  Fleet-level p50/p95/p99 come from merged constant-memory
+:class:`~repro.sim.stats.QuantileSketch` accumulators, never from a
+concatenated latency vector, so the paper profile (100 racks, a 16x
+envelope: 10M+ requests) stitches in O(racks) memory.
+
+The grid is racks x rate_scale x lb_policy for both platforms; every
+fleet run emits one ``scope="fleet"`` summary row plus one
+``scope="rack"`` row per rack, all sharing one rectangular schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.fleet import (
+    LB_POLICIES,
+    FleetTopology,
+    GlobalLoadBalancer,
+)
+from repro.cluster.fleet_engine import FleetResult, FleetRunner
+from repro.cluster.trace import DEFAULT_RATE_ENVELOPE, TraceGenerator
+from repro.experiments.common import BASELINE_NAME, DSCS_NAME
+from repro.experiments.registry import REGISTRY, Param
+
+import numpy as np
+
+_PLATFORMS = (BASELINE_NAME, DSCS_NAME)
+
+
+@dataclass
+class FleetStudy:
+    """fig13-fleet results keyed by (rate_scale, lb_policy, platform)."""
+
+    results: Dict[Tuple[float, str, str], FleetResult]
+
+    def at(
+        self, rate_scale: float, lb_policy: str, platform: str
+    ) -> FleetResult:
+        return self.results[(rate_scale, lb_policy, platform)]
+
+
+def _row(
+    scope: str,
+    rate_scale: float,
+    platform: str,
+    result: FleetResult,
+    rack_label: str,
+    requests: int,
+    completed: int,
+    dropped: int,
+    availability: float,
+    mean_latency: float,
+    p50: float,
+    p95: float,
+    p99: float,
+    peak_queue: int,
+    check_hash: str,
+) -> dict:
+    """One rectangular record shared by fleet and rack rows."""
+    return {
+        "scope": scope,
+        "rate_scale": rate_scale,
+        "lb_policy": result.lb_policy,
+        "platform": platform,
+        "racks": len(result.racks),
+        "workers": result.workers,
+        "rack": rack_label,
+        "requests": requests,
+        "completed": completed,
+        "dropped": dropped,
+        "availability": round(availability, 6),
+        "mean_latency_s": round(mean_latency, 6),
+        "p50_latency_s": round(p50, 6),
+        "p95_latency_s": round(p95, 6),
+        "p99_latency_s": round(p99, 6),
+        "sketch_error_bound": round(
+            result.merged_sketch.relative_error_bound, 6
+        ),
+        "peak_queue": peak_queue,
+        "check_hash": check_hash,
+    }
+
+
+def _fleet_rows(
+    rate_scale: float, platform: str, result: FleetResult
+) -> List[dict]:
+    """The fleet summary row followed by one row per rack."""
+    sketch = result.merged_sketch
+    rows = [
+        _row(
+            "fleet",
+            rate_scale,
+            platform,
+            result,
+            rack_label="*",
+            requests=result.total_requests,
+            completed=result.completed,
+            dropped=result.dropped,
+            availability=result.availability,
+            mean_latency=sketch.mean,
+            p50=sketch.percentile(50.0),
+            p95=sketch.percentile(95.0),
+            p99=sketch.percentile(99.0),
+            peak_queue=max(rack.peak_queue for rack in result.racks),
+            check_hash=result.fleet_hash,
+        )
+    ]
+    for rack in result.racks:
+        rows.append(
+            _row(
+                "rack",
+                rate_scale,
+                platform,
+                result,
+                rack_label=rack.name,
+                requests=rack.requests,
+                completed=rack.completed,
+                dropped=rack.dropped,
+                availability=rack.availability,
+                mean_latency=rack.mean_latency_seconds,
+                p50=rack.sketch.percentile(50.0),
+                p95=rack.sketch.percentile(95.0),
+                p99=rack.sketch.percentile(99.0),
+                peak_queue=rack.peak_queue,
+                check_hash=rack.check_hash,
+            )
+        )
+    return rows
+
+
+def _fleet_headline(results: Dict[Tuple[float, str, str], FleetResult]):
+    if not results:
+        return ""
+    key = max(results, key=lambda k: results[k].total_requests)
+    result = results[key]
+    return (
+        f"{len(result.racks)} racks x {result.total_requests} requests "
+        f"({key[1]}, {key[2]}): sketch p99 "
+        f"{result.sketch_percentile(99.0) * 1e3:.1f} ms, "
+        f"availability {result.availability:.4f}"
+    )
+
+
+@REGISTRY.experiment(
+    name="fig13-fleet",
+    description=(
+        "Datacenter fleet: the Fig. 13 trace sharded across N racks by a "
+        "global load balancer, stitched with check hashes and mergeable "
+        "quantile sketches"
+    ),
+    params=(
+        Param("racks", "int", 8, "racks in the fleet"),
+        Param(
+            "rate_scales",
+            "floats",
+            (1.0,),
+            "scales on the fleet-level rate envelope",
+        ),
+        Param(
+            "lb_policies",
+            "strs",
+            LB_POLICIES,
+            "load-balancer policies "
+            "(round_robin | weighted | hash_affinity)",
+        ),
+        Param("max_instances", "int", 200, "instances per rack"),
+        Param("queue_depth", "int", 10_000, "queue bound per rack"),
+        Param(
+            "policy", "str", "fcfs", "per-rack scheduling policy"
+        ),
+        Param(
+            "workers",
+            "int",
+            None,
+            "process-pool size for the rack fan-out (default: serial)",
+        ),
+        Param(
+            "keep_latencies",
+            "bool",
+            False,
+            "also keep exact per-rack latency vectors "
+            "(sketch cross-check scale only)",
+        ),
+        Param("seed", "int", 13, "fleet trace + rack-seed master seed"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("context", "object", None, cli=False),
+    ),
+    profiles={
+        "fast": {
+            "racks": 3,
+            "rate_scales": (0.05,),
+            "max_instances": 8,
+        },
+        # >= 10M requests over >= 100 racks: the 20-minute envelope at
+        # 16x integrates to ~10.2M arrivals.
+        "paper": {
+            "racks": 100,
+            "rate_scales": (16.0,),
+            "max_instances": 200,
+        },
+    },
+    tags=("figure", "rack", "fleet", "sweep"),
+    headline=lambda study: _fleet_headline(study.results),
+)
+def _fleet_experiment(
+    ctx,
+    racks,
+    rate_scales,
+    lb_policies,
+    max_instances,
+    queue_depth,
+    policy,
+    workers,
+    keep_latencies,
+    seed,
+    engine,
+    context=None,
+):
+    context = context or ctx.suite_context(list(_PLATFORMS))
+    rows: List[dict] = []
+    results: Dict[Tuple[float, str, str], FleetResult] = {}
+    for rate_scale in rate_scales:
+        envelope = tuple(
+            rate * float(rate_scale) for rate in DEFAULT_RATE_ENVELOPE
+        )
+        generator = TraceGenerator(context.app_names, rate_envelope=envelope)
+        trace = generator.generate(np.random.default_rng(seed))
+        for lb_policy in lb_policies:
+            for platform in context.platform_names:
+                topology = FleetTopology.uniform(
+                    int(racks),
+                    platform,
+                    max_instances=int(max_instances),
+                    queue_depth=int(queue_depth),
+                    policy=str(policy),
+                    seed=int(seed),
+                )
+                runner = FleetRunner(
+                    context,
+                    balancer=GlobalLoadBalancer(str(lb_policy)),
+                    engine=engine,
+                    keep_latencies=bool(keep_latencies),
+                )
+                result = runner.run(topology, trace, workers=workers)
+                results[
+                    (float(rate_scale), str(lb_policy), platform)
+                ] = result
+                rows.extend(
+                    _fleet_rows(float(rate_scale), platform, result)
+                )
+    return rows, FleetStudy(results=results)
+
+
+def run_fleet(
+    racks: int = 8,
+    rate_scales=(1.0,),
+    lb_policies=LB_POLICIES,
+    max_instances: int = 200,
+    queue_depth: int = 10_000,
+    policy: str = "fcfs",
+    workers: Optional[int] = None,
+    keep_latencies: bool = False,
+    seed: int = 13,
+    engine: str = "auto",
+    context=None,
+) -> FleetStudy:
+    """The Fig. 13 workload sharded across a multi-rack fleet."""
+    return REGISTRY.run(
+        "fig13-fleet",
+        racks=racks,
+        rate_scales=rate_scales,
+        lb_policies=lb_policies,
+        max_instances=max_instances,
+        queue_depth=queue_depth,
+        policy=policy,
+        workers=workers,
+        keep_latencies=keep_latencies,
+        seed=seed,
+        engine=engine,
+        context=context,
+    ).study

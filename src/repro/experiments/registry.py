@@ -351,6 +351,10 @@ class ExperimentRegistry:
             "profile": profile,
             "seed": recorded.get("seed"),
             "engine": recorded.get("engine"),
+            # Shard topology of process-pool runs (fig13-fleet, dse):
+            # None means serial.  Recorded so a sharded artifact is
+            # reproducible from the JSON alone.
+            "workers": recorded.get("workers"),
             "git": git_describe(),
             "python": _platform.python_version(),
             "wall_time_s": round(wall_seconds, 6),
@@ -385,6 +389,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig17",
     "repro.experiments.chaos",
     "repro.experiments.control",
+    "repro.experiments.fleet",
 )
 
 

@@ -1,7 +1,17 @@
-"""Percentile/CDF helpers shared by every experiment harness."""
+"""Percentile/CDF helpers shared by every experiment harness.
+
+Besides the exact helpers (which materialize the full sample vector),
+this module provides :class:`QuantileSketch` — a mergeable,
+constant-memory log-histogram for tail percentiles at fleet scale, where
+shipping every per-rack latency vector to the stitch point stops
+fitting.  Per-rack accumulators merge exactly (bin counts add), and the
+estimate error is bounded by the bin resolution alone, independent of
+sample count or merge order.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -66,7 +76,6 @@ def summarize(samples: Iterable[float]) -> Summary:
         maximum=float(arr.max()),
     )
 
-
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean; used for cross-benchmark speedup aggregation."""
     arr = np.asarray(list(values), dtype=float)
@@ -75,3 +84,178 @@ def geometric_mean(values: Sequence[float]) -> float:
     if np.any(arr <= 0):
         raise ConfigurationError("geometric mean requires positive values")
     return float(np.exp(np.mean(np.log(arr))))
+
+
+class QuantileSketch:
+    """Mergeable constant-memory quantile sketch (fixed-bin log histogram).
+
+    Values land in logarithmically spaced bins between ``lo`` and ``hi``
+    (``bins_per_decade`` bins per factor of ten), with exact min/max/sum
+    tracked on the side.  Two sketches with the same bin configuration
+    merge by adding counts, so fleet-level tail percentiles come from
+    O(racks) constant-size accumulators instead of one giant latency
+    vector — and the merged estimate is *identical* to the estimate a
+    single sketch over the concatenated samples would give, regardless
+    of merge order.
+
+    **Accuracy contract** (the "documented bin-resolution bound"):
+    :meth:`percentile` locates the order statistic of rank
+    ``floor(q/100 * (count - 1))`` — the ``method="lower"`` convention
+    of :func:`numpy.percentile` — and returns the log-space midpoint of
+    its bin.  Any in-range value lies within half a bin of its midpoint,
+    so the estimate's relative error against that exact order statistic
+    is at most :attr:`relative_error_bound` = ``10**(1/bins_per_decade)
+    - 1`` (a full bin width: half a bin from the midpoint plus margin
+    for the floating-point binning of edge-straddling values).  Values
+    below ``lo`` report the exact minimum, values at or above ``hi`` the
+    exact maximum, so out-of-range tails degrade to exact endpoints
+    rather than silently losing resolution.
+    """
+
+    def __init__(
+        self,
+        lo: float = 1e-6,
+        hi: float = 1e5,
+        bins_per_decade: int = 64,
+    ) -> None:
+        if not (math.isfinite(lo) and lo > 0):
+            raise ConfigurationError(f"non-positive sketch lower bound: {lo}")
+        if not (math.isfinite(hi) and hi > lo):
+            raise ConfigurationError(
+                f"sketch upper bound {hi} must exceed lower bound {lo}"
+            )
+        if int(bins_per_decade) < 1:
+            raise ConfigurationError(
+                f"non-positive bins per decade: {bins_per_decade}"
+            )
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins_per_decade = int(bins_per_decade)
+        decades = math.log10(self.hi / self.lo)
+        self._bins = max(1, int(math.ceil(decades * self.bins_per_decade)))
+        # counts[0] = underflow (< lo, incl. zeros), counts[-1] = overflow.
+        self._counts = np.zeros(self._bins + 2, dtype=np.int64)
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------ config
+    @property
+    def config(self) -> tuple:
+        """The merge-compatibility key: (lo, hi, bins_per_decade)."""
+        return (self.lo, self.hi, self.bins_per_decade)
+
+    @property
+    def relative_error_bound(self) -> float:
+        """Worst-case relative error for in-range percentile estimates."""
+        return 10.0 ** (1.0 / self.bins_per_decade) - 1.0
+
+    # ------------------------------------------------------------- state
+    @property
+    def count(self) -> int:
+        return int(self._counts.sum())
+
+    @property
+    def minimum(self) -> float:
+        return float(self._min) if self.count else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        return float(self._max) if self.count else float("nan")
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self._sum / n if n else float("nan")
+
+    # --------------------------------------------------------- accumulate
+    def add(self, values) -> "QuantileSketch":
+        """Fold a batch of non-negative samples into the sketch."""
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return self
+        if not np.all(np.isfinite(arr)) or np.any(arr < 0):
+            raise ConfigurationError(
+                "sketch samples must be finite and non-negative"
+            )
+        positive = arr > 0
+        indices = np.zeros(arr.shape, dtype=np.int64)
+        if positive.any():
+            scaled = np.floor(
+                np.log10(arr[positive] / self.lo) * self.bins_per_decade
+            ).astype(np.int64)
+            indices[positive] = np.clip(scaled + 1, 0, self._bins + 1)
+        self._counts += np.bincount(indices, minlength=self._bins + 2)
+        self._sum += float(arr.sum())
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+        return self
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold another sketch's accumulators into this one (in place)."""
+        if not isinstance(other, QuantileSketch):
+            raise ConfigurationError(
+                f"cannot merge {type(other).__name__} into a QuantileSketch"
+            )
+        if other.config != self.config:
+            raise ConfigurationError(
+                f"incompatible sketch configs: {self.config} vs {other.config}"
+            )
+        self._counts += other._counts
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    @classmethod
+    def merged(cls, sketches: Sequence["QuantileSketch"]) -> "QuantileSketch":
+        """A fresh sketch holding the sum of all the given accumulators."""
+        if not sketches:
+            raise ConfigurationError("merge of empty sketch list")
+        first = sketches[0]
+        result = cls(first.lo, first.hi, first.bins_per_decade)
+        for sketch in sketches:
+            result.merge(sketch)
+        return result
+
+    # ------------------------------------------------------------ queries
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0..100); NaN when empty."""
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"percentile out of range: {q}")
+        n = self.count
+        if n == 0:
+            return float("nan")
+        if q == 0:
+            return float(self._min)
+        if q == 100:
+            return float(self._max)
+        rank = int(math.floor(q / 100.0 * (n - 1)))  # 0-indexed, "lower"
+        cumulative = np.cumsum(self._counts)
+        bin_index = int(np.searchsorted(cumulative, rank + 1, side="left"))
+        if bin_index == 0:
+            return float(self._min)
+        if bin_index == self._bins + 1:
+            return float(self._max)
+        midpoint = self.lo * 10.0 ** (
+            (bin_index - 0.5) / self.bins_per_decade
+        )
+        return float(min(max(midpoint, self._min), self._max))
+
+    def as_dict(self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)):
+        """Compact JSON-ready summary (no raw bin counts)."""
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins_per_decade": self.bins_per_decade,
+            "relative_error_bound": self.relative_error_bound,
+            "count": self.count,
+            "underflow": int(self._counts[0]),
+            "overflow": int(self._counts[-1]),
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            **{
+                f"p{q:g}": self.percentile(q) for q in percentiles
+            },
+        }

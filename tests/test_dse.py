@@ -137,6 +137,13 @@ class TestParallelSweep:
         # A repeat sweep must reuse the folded-back results.
         assert explorer.sweep(configs) == results
 
+    def test_worker_count_invariant(self):
+        """Results are a pure function of configs — not of the pool size."""
+        configs = [DSAConfig(pe_rows=d, pe_cols=d) for d in (8, 16, 32, 64)]
+        one = tiny_explorer().sweep(configs, workers=1)
+        four = tiny_explorer().sweep(configs, workers=4)
+        assert one == four
+
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ConfigurationError):
             tiny_explorer().sweep([DSAConfig()], workers=0)

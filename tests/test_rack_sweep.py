@@ -315,3 +315,56 @@ class TestFigureWirings:
         # With queueing headroom the rack study reduces to the paper's
         # per-invocation comparison: cold starts erode the advantage.
         assert study.cold_penalty > 1.0
+
+
+class TestEmptyScenarioStats:
+    """A scenario that completes nothing reports NaN, not a fake 0.0."""
+
+    @pytest.fixture()
+    def empty_result(self):
+        from repro.cluster.simulation import SimulationSeries
+        from repro.cluster.sweep import ScenarioResult
+
+        series = SimulationSeries(
+            sample_times=np.array([0.0, 1.0]),
+            queue_depth=np.zeros(2, dtype=np.int64),
+            busy_instances=np.zeros(2, dtype=np.int64),
+            completed_latency_seconds=np.array([], dtype=np.float64),
+            completed_times=np.array([], dtype=np.float64),
+            dropped_requests=5,
+            total_requests=5,
+        )
+        scenario = RackScenario(platform=BASELINE_NAME, queue_depth=1)
+        return ScenarioResult(scenario=scenario, series=series)
+
+    def test_mean_latency_nan_when_all_dropped(self, empty_result):
+        assert np.isnan(empty_result.mean_latency_seconds)
+
+    def test_percentiles_nan_when_all_dropped(self, empty_result):
+        assert np.isnan(empty_result.latency_percentile(50.0))
+        assert np.isnan(empty_result.p95_latency_seconds)
+        assert np.isnan(empty_result.p99_latency_seconds)
+
+    def test_percentile_range_still_validated(self, empty_result):
+        with pytest.raises(ConfigurationError):
+            empty_result.latency_percentile(101.0)
+        with pytest.raises(ConfigurationError):
+            empty_result.latency_percentile(-0.1)
+
+    def test_summary_rows_carry_nan(self, empty_result):
+        for row in (empty_result.summary(), empty_result.as_row()):
+            assert np.isnan(row["mean_latency_s"])
+            assert np.isnan(row["p95_latency_s"])
+            assert row["dropped"] == 5
+
+    def test_populated_scenario_unaffected(self, context):
+        sweep = RackSweep(
+            context,
+            rate_envelope=SMALL_ENVELOPE,
+            segment_seconds=SEGMENT_SECONDS,
+        )
+        result = sweep.run_one(
+            RackScenario(platform=BASELINE_NAME, max_instances=4)
+        )
+        assert result.mean_latency_seconds > 0.0
+        assert result.p95_latency_seconds >= result.latency_percentile(50.0)

@@ -82,3 +82,163 @@ def test_geometric_mean_between_min_and_max(values):
 def test_cdf_last_probability_is_one(values):
     _, probs = cdf_points(values)
     assert probs[-1] == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------------
+# QuantileSketch: mergeable constant-memory percentiles
+# --------------------------------------------------------------------------
+
+
+def make_sketch(values=(), **kwargs):
+    from repro.sim.stats import QuantileSketch
+
+    sketch = QuantileSketch(**kwargs)
+    if len(values):
+        sketch.add(np.asarray(values, dtype=np.float64))
+    return sketch
+
+
+def test_sketch_rejects_bad_config():
+    from repro.sim.stats import QuantileSketch
+
+    with pytest.raises(ConfigurationError):
+        QuantileSketch(lo=0.0)
+    with pytest.raises(ConfigurationError):
+        QuantileSketch(lo=1.0, hi=1.0)
+    with pytest.raises(ConfigurationError):
+        QuantileSketch(bins_per_decade=0)
+
+
+def test_sketch_rejects_bad_values():
+    sketch = make_sketch()
+    with pytest.raises(ConfigurationError):
+        sketch.add(np.array([1.0, -0.5]))
+    with pytest.raises(ConfigurationError):
+        sketch.add(np.array([np.nan]))
+    with pytest.raises(ConfigurationError):
+        sketch.add(np.array([np.inf]))
+
+
+def test_sketch_empty_reports_nan():
+    sketch = make_sketch()
+    assert sketch.count == 0
+    assert np.isnan(sketch.percentile(50.0))
+    assert np.isnan(sketch.minimum)
+    assert np.isnan(sketch.maximum)
+    assert np.isnan(sketch.mean)
+
+
+def test_sketch_percentile_range_checked():
+    sketch = make_sketch([1.0, 2.0])
+    with pytest.raises(ConfigurationError):
+        sketch.percentile(101.0)
+    with pytest.raises(ConfigurationError):
+        sketch.percentile(-1.0)
+
+
+def test_sketch_endpoints_are_exact():
+    values = [0.003, 0.04, 0.5, 6.0]
+    sketch = make_sketch(values)
+    assert sketch.percentile(0.0) == 0.003
+    assert sketch.percentile(100.0) == 6.0
+    assert sketch.minimum == 0.003
+    assert sketch.maximum == 6.0
+    assert sketch.mean == pytest.approx(np.mean(values))
+
+
+def test_sketch_tracks_exact_within_documented_bound():
+    rng = np.random.default_rng(7)
+    values = rng.lognormal(mean=-3.0, sigma=1.2, size=20_000)
+    sketch = make_sketch(values)
+    bound = sketch.relative_error_bound
+    for q in (1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9):
+        exact = float(np.percentile(values, q, method="lower"))
+        approx = sketch.percentile(q)
+        assert abs(approx - exact) <= bound * exact
+
+
+def test_sketch_merge_equals_single_pass():
+    rng = np.random.default_rng(11)
+    values = rng.lognormal(mean=-4.0, sigma=1.0, size=9_000)
+    whole = make_sketch(values)
+    parts = [make_sketch(chunk) for chunk in np.array_split(values, 7)]
+    from repro.sim.stats import QuantileSketch
+
+    merged = QuantileSketch.merged(parts)
+    assert np.array_equal(merged._counts, whole._counts)
+    assert merged.count == whole.count
+    assert merged.minimum == whole.minimum
+    assert merged.maximum == whole.maximum
+    for q in (50.0, 95.0, 99.0):
+        assert merged.percentile(q) == whole.percentile(q)
+
+
+def test_sketch_merge_order_invariant():
+    rng = np.random.default_rng(3)
+    parts = [
+        make_sketch(rng.lognormal(-3, 1, 500)) for _ in range(5)
+    ]
+    from repro.sim.stats import QuantileSketch
+
+    forward = QuantileSketch.merged(parts)
+    backward = QuantileSketch.merged(list(reversed(parts)))
+    assert np.array_equal(forward._counts, backward._counts)
+    assert forward.percentile(99.0) == backward.percentile(99.0)
+
+
+def test_sketch_merge_rejects_incompatible_config():
+    a = make_sketch([1.0])
+    b = make_sketch([1.0], bins_per_decade=32)
+    with pytest.raises(ConfigurationError):
+        a.merge(b)
+
+
+def test_sketch_merged_rejects_empty_list():
+    from repro.sim.stats import QuantileSketch
+
+    with pytest.raises(ConfigurationError):
+        QuantileSketch.merged([])
+
+
+def test_sketch_handles_out_of_range_values():
+    # Values under lo land in the underflow bin, over hi in overflow;
+    # endpoint percentiles still report the exact extremes.
+    sketch = make_sketch([1e-9, 0.5, 1e7], lo=1e-6, hi=1e5)
+    assert sketch.count == 3
+    assert sketch.minimum == 1e-9
+    assert sketch.maximum == 1e7
+    assert sketch.percentile(0.0) == 1e-9
+    assert sketch.percentile(100.0) == 1e7
+
+
+def test_sketch_zero_values_counted():
+    sketch = make_sketch([0.0, 0.0, 1.0])
+    assert sketch.count == 3
+    assert sketch.minimum == 0.0
+    assert sketch.percentile(0.0) == 0.0
+
+
+def test_sketch_as_dict_round_trip_fields():
+    sketch = make_sketch([0.01, 0.1, 1.0])
+    payload = sketch.as_dict()
+    assert payload["count"] == 3
+    assert payload["lo"] == sketch.config[0]
+    assert payload["hi"] == sketch.config[1]
+    assert payload["bins_per_decade"] == sketch.config[2]
+    assert payload["relative_error_bound"] == sketch.relative_error_bound
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=1e-5, max_value=1e4),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_sketch_percentile_within_bound_property(values):
+    sketch = make_sketch(values)
+    bound = sketch.relative_error_bound
+    for q in (50.0, 99.0):
+        exact = float(np.percentile(values, q, method="lower"))
+        assert abs(sketch.percentile(q) - exact) <= bound * exact
