@@ -30,6 +30,7 @@ import json
 import os
 import platform
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -49,6 +50,41 @@ def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def traced_peak(fn: Callable[[], Any]) -> Tuple[Any, int]:
+    """Run ``fn`` once under ``tracemalloc``, returning (result, peak bytes).
+
+    Peak bytes is the high-water mark of Python allocations made *during*
+    the call (numpy buffers included — they allocate through the traced
+    C-API domain).  Tracing slows allocation-heavy code down noticeably,
+    so memory runs and timing runs must be separate: never reuse a traced
+    wall-clock for an ``engines`` entry.
+    """
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, int(peak)
+
+
+def rss_bytes() -> Optional[int]:
+    """Current process max-RSS in bytes (None where unsupported).
+
+    A coarse whole-process ceiling to sanity-check the ``tracemalloc``
+    numbers against; ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - macOS units
+        return int(peak)
+    return int(peak) * 1024
 
 
 def digest(*parts: Any) -> str:
@@ -105,14 +141,25 @@ def series_digest(series_by_platform) -> str:
 
 
 def engine_record(
-    engine: str, wall_clock_s: float, work_items: int
+    engine: str,
+    wall_clock_s: float,
+    work_items: int,
+    peak_mem_bytes: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """One engine's timing entry (``per_second`` = work items / wall)."""
-    return {
+    """One engine's timing entry (``per_second`` = work items / wall).
+
+    ``peak_mem_bytes`` (from :func:`traced_peak`, measured in a separate
+    untimed run) records the allocation high-water mark — the axis the
+    streaming benchmark sweeps.
+    """
+    record = {
         "engine": engine,
         "wall_clock_s": round(wall_clock_s, 3),
         "per_second": round(work_items / wall_clock_s, 2) if wall_clock_s else None,
     }
+    if peak_mem_bytes is not None:
+        record["peak_mem_bytes"] = int(peak_mem_bytes)
+    return record
 
 
 def build_record(

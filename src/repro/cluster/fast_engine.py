@@ -95,13 +95,20 @@ class _ServicePools:
         self._app_names = app_names
 
     def _pool_len(self, name: str) -> int:
+        """Logical pool length: trimmed + physical + pending samples."""
         pool = self._sim._service_samples.get(name)
-        return 0 if pool is None else len(pool)
+        if pool is None:
+            return 0
+        return (
+            self._sim._service_trim.get(name, 0)
+            + len(pool)
+            + self._sim._pool_pending(name)
+        )
 
     def _grow(self, name: str, size: int) -> None:
         """One oracle-order draw: initial block or doubling block."""
         sim = self._sim
-        fresh = sim._draw_service_block(name, size)
+        fresh = sim._pool_grow_block(name, size)
         pool = sim._service_samples.get(name)
         if pool is None:
             sim._service_samples[name] = fresh
@@ -119,7 +126,10 @@ class _ServicePools:
         would perform the draws; ``snapshot`` restores RNG and pool state
         if the caller commits only a prefix of the chunk.
         """
-        from repro.cluster.simulation import _PRESAMPLE_COUNT
+        from repro.cluster.simulation import (
+            _POOL_BLOCK_MAX,
+            _PRESAMPLE_COUNT,
+        )
 
         sim = self._sim
         values = np.empty(len(app_ids))
@@ -133,7 +143,10 @@ class _ServicePools:
             cursor = sim._service_cursor.get(name, 0)
             length = self._pool_len(name)
             while length < cursor + len(pos):
-                size = length if length > 0 else _PRESAMPLE_COUNT
+                if length > 0:
+                    size = min(length, _POOL_BLOCK_MAX)
+                else:
+                    size = _PRESAMPLE_COUNT
                 events.append((int(pos[length - cursor]), app_id, size))
                 length += size
         snapshot = None
@@ -142,7 +155,7 @@ class _ServicePools:
             snapshot = (
                 sim._rng.bit_generator.state,
                 {
-                    self._app_names[app_id]: sim._service_samples.get(
+                    self._app_names[app_id]: self._pool_state(
                         self._app_names[app_id]
                     )
                     for _, app_id, _ in events
@@ -152,9 +165,27 @@ class _ServicePools:
                 self._grow(self._app_names[app_id], size)
         for app_id, pos in positions.items():
             name = self._app_names[app_id]
-            cursor = sim._service_cursor.get(name, 0)
-            values[pos] = sim._service_samples[name][cursor : cursor + len(pos)]
+            offset = sim._service_cursor.get(name, 0) - sim._service_trim.get(
+                name, 0
+            )
+            need = offset + len(pos)
+            pool = sim._service_samples[name]
+            while len(pool) < need:
+                # Bounded-pool mode: part of the range is still pending;
+                # re-materialize it window by window.
+                pool = np.concatenate([pool, sim._pool_refill(name)])
+                sim._service_samples[name] = pool
+            values[pos] = pool[offset:need]
         return values, events, snapshot
+
+    def _pool_state(self, name: str):
+        """Restorable (physical pool, pending blocks) pair for ``name``."""
+        sim = self._sim
+        pending = sim._service_pending.get(name)
+        return (
+            sim._service_samples.get(name),
+            None if pending is None else [list(block) for block in pending],
+        )
 
     def commit(
         self,
@@ -177,11 +208,17 @@ class _ServicePools:
         ):
             rng_state, pools = snapshot
             sim._rng.bit_generator.state = rng_state
-            for name, pool in pools.items():
+            for name, (pool, pending) in pools.items():
                 if pool is None:
                     sim._service_samples.pop(name, None)
                 else:
                     sim._service_samples[name] = pool
+                if pending is None:
+                    sim._service_pending.pop(name, None)
+                else:
+                    sim._service_pending[name] = [
+                        list(block) for block in pending
+                    ]
             for pos, app_id, size in events:
                 if pos < committed:
                     self._grow(self._app_names[app_id], size)
@@ -192,6 +229,26 @@ class _ServicePools:
                 sim._service_cursor[name] = sim._service_cursor.get(
                     name, 0
                 ) + int(counts[app_id])
+
+    def compact(self) -> None:
+        """Physically drop consumed pool prefixes (streaming engines).
+
+        Cursors stay logical and ``_service_trim`` records the discarded
+        count, so the doubling growth schedule — and hence every future
+        RNG draw — is unchanged; only peak memory shrinks.  Must not be
+        called between :meth:`peek` and :meth:`commit` (the snapshot
+        holds physical arrays at the current trim).
+        """
+        sim = self._sim
+        for name, pool in sim._service_samples.items():
+            trim = sim._service_trim.get(name, 0)
+            consumed = sim._service_cursor.get(name, 0) - trim
+            # Compact only when the copy (surviving tail) is no larger
+            # than what it frees, keeping total copy work amortized
+            # linear in the number of draws.
+            if consumed >= 1024 and consumed >= len(pool) - consumed:
+                sim._service_samples[name] = pool[consumed:].copy()
+                sim._service_trim[name] = trim + consumed
 
 
 def run_vectorized(

@@ -92,6 +92,45 @@ def series_check_hash(series: SimulationSeries, *extra) -> str:
     )
 
 
+def streamed_check_hash(streamed, *extra) -> str:
+    """Content hash of one rack's :class:`StreamedSeries` telemetry.
+
+    The streaming engine never materialises latency vectors, so this
+    covers the constant-memory projection instead: the tick series, the
+    per-bucket folds, the sketch accumulators, every counter, and any
+    ``extra`` parts (the fleet runner appends the rack RNG end state).
+    Two streaming runs that are bit-identical (any chunk size) hash
+    identically; note ``_sum`` is excluded for the same chunking-order
+    reason :meth:`~repro.sim.stats.QuantileSketch.identical_to` skips it.
+    """
+    return _digest(
+        streamed.sample_times.tobytes(),
+        streamed.queue_depth.tobytes(),
+        streamed.busy_instances.tobytes(),
+        streamed.live_instances.tobytes(),
+        streamed.latency_sum_per_bucket.tobytes(),
+        streamed.completed_per_bucket.tobytes(),
+        streamed.dropped_per_bucket.tobytes(),
+        streamed.drop_reason_counts.tobytes(),
+        streamed.sketch.bin_counts.tobytes(),
+        streamed.sketch.minimum,
+        streamed.sketch.maximum,
+        streamed.completed_count,
+        streamed.dropped_requests,
+        streamed.total_requests,
+        streamed.retries,
+        streamed.timeouts,
+        streamed.crash_kills,
+        streamed.hedges_launched,
+        streamed.hedge_wins,
+        streamed.scale_ups,
+        streamed.scale_downs,
+        tuple(sorted(streamed.completed_per_app.items())),
+        streamed.app_catalog,
+        *extra,
+    )
+
+
 @dataclass(frozen=True)
 class _RackTask:
     """One shard of work: everything a worker needs, nothing more."""
@@ -298,12 +337,40 @@ class FleetRunner:
         sketch_hi: float = SKETCH_HI_SECONDS,
         sketch_bins_per_decade: int = SKETCH_BINS_PER_DECADE,
         priorities: Optional[Dict[str, int]] = None,
+        chunk_requests: Optional[int] = None,
     ) -> None:
+        if chunk_requests is not None and engine != "streaming":
+            raise ConfigurationError(
+                "chunk_requests only applies to engine='streaming'; "
+                f"got engine={engine!r}"
+            )
+        if engine == "streaming":
+            if keep_latencies:
+                raise ConfigurationError(
+                    "keep_latencies requires materialized latency "
+                    "vectors, which engine='streaming' never builds; "
+                    "use a materialized engine for cross-check runs"
+                )
+            if (
+                float(sketch_lo),
+                float(sketch_hi),
+                int(sketch_bins_per_decade),
+            ) != (
+                SKETCH_LO_SECONDS,
+                SKETCH_HI_SECONDS,
+                SKETCH_BINS_PER_DECADE,
+            ):
+                raise ConfigurationError(
+                    "engine='streaming' folds latencies into the "
+                    "default sketch geometry inside the engine; custom "
+                    "sketch bounds require a materialized engine"
+                )
         self._context = context
         self._balancer = balancer or GlobalLoadBalancer()
         self._sample_interval = sample_interval_seconds
         self._engine = engine
         self._keep_latencies = keep_latencies
+        self._chunk_requests = chunk_requests
         self._sketch_config = (
             float(sketch_lo),
             float(sketch_hi),
@@ -371,6 +438,40 @@ class FleetRunner:
             retry=spec.retry,
             control=spec.control,
         )
+        if self._engine == "streaming":
+            streamed = simulation.run(
+                task.shard,
+                self._sample_interval,
+                engine="streaming",
+                chunk_requests=self._chunk_requests,
+            )
+            return RackShardResult(
+                index=task.index,
+                name=spec.name,
+                platform=spec.platform,
+                seed=task.seed,
+                requests=streamed.total_requests,
+                completed=streamed.completed_count,
+                dropped=streamed.dropped_requests,
+                drop_breakdown=streamed.drop_breakdown(),
+                retries=streamed.retries,
+                timeouts=streamed.timeouts,
+                crash_kills=streamed.crash_kills,
+                scale_ups=streamed.scale_ups,
+                scale_downs=streamed.scale_downs,
+                peak_queue=(
+                    int(streamed.queue_depth.max())
+                    if len(streamed.queue_depth)
+                    else 0
+                ),
+                wall_clock_seconds=streamed.wall_clock_seconds,
+                mean_latency_seconds=streamed.mean_latency_seconds,
+                check_hash=streamed_check_hash(
+                    streamed, repr(simulation._rng.bit_generator.state)
+                ),
+                sketch=streamed.sketch,
+                latencies=None,
+            )
         series = simulation.run(
             task.shard, self._sample_interval, engine=self._engine
         )

@@ -56,7 +56,16 @@ from repro.sim.event_queue import Event, EventQueue
 # Number of latency samples pre-drawn per application.
 _PRESAMPLE_COUNT = 4096
 
-_ENGINES = ("auto", "event", "vectorized")
+# Ceiling on one pool growth draw.  The pool doubles until a block
+# would exceed this, then grows in fixed blocks: unbounded doubling
+# makes the transient arrays inside a single ``sample_latencies`` call
+# O(trace), which would defeat the streaming engines' constant-memory
+# contract.  Part of the deterministic draw schedule shared by every
+# engine — changing it changes results for any simulation consuming
+# more than 2x this many samples per app.
+_POOL_BLOCK_MAX = 32_768
+
+_ENGINES = ("auto", "event", "vectorized", "streaming")
 
 
 class ServiceSampleCache:
@@ -354,6 +363,21 @@ class RackSimulation:
         self._control = control
         self._service_samples: Dict[str, np.ndarray] = {}
         self._service_cursor: Dict[str, int] = {}
+        # Logical offset of each physical pool's first element: the
+        # streaming engines compact consumed prefixes away, but the
+        # doubling growth schedule (and hence RNG consumption) is
+        # computed on the logical length, so draws stay identical.
+        self._service_trim: Dict[str, int] = {}
+        # Bounded-pool mode (streamed trace sources): block draws larger
+        # than this window retain only their leading slice; the rest is
+        # re-materialized on demand by replaying the recorded RNG state
+        # on a clone.  None = keep every drawn sample (default).
+        self._service_window: Optional[int] = None
+        # Per-app FIFO of partially materialized blocks:
+        # [pre-draw bit-generator state, block length, samples already
+        # appended to the physical pool].  Only the head block may have
+        # a prefix in the pool; later blocks wait in full.
+        self._service_pending: Dict[str, List[List[object]]] = {}
         self._last_policy: Optional[KeyedPolicy] = None
 
     @property
@@ -366,44 +390,119 @@ class RackSimulation:
         """
         return self._last_policy
 
-    def _draw_service_block(self, app_name: str, count: int) -> np.ndarray:
+    def _draw_service_block(
+        self,
+        app_name: str,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
         """Draw ``count`` service times for ``app_name`` from the RNG."""
         app = self._applications.get(app_name)
         if app is None:
             raise SchedulingError(f"unknown application {app_name!r}")
+        if rng is None:
+            rng = self._rng
         if self._sample_cache is not None:
             return self._sample_cache.draw(
-                self._model, app, self._rng, count, cold=self._cold
+                self._model, app, rng, count, cold=self._cold
             )
         return self._model.sample_latencies(
-            app, self._rng, count, cold=self._cold
+            app, rng, count, cold=self._cold
         )
+
+    def _pool_pending(self, app_name: str) -> int:
+        """Drawn-but-not-yet-materialized sample count for ``app_name``."""
+        blocks = self._service_pending.get(app_name)
+        if not blocks:
+            return 0
+        return sum(int(length) - int(drawn) for _, length, drawn in blocks)
+
+    def _pool_grow_block(self, app_name: str, size: int) -> np.ndarray:
+        """One schedule draw; returns the slice to append to the pool.
+
+        The live RNG always consumes the full block — the growth
+        schedule is engine-invariant — but in bounded-pool mode only a
+        window of samples is kept: the pre-draw bit-generator state is
+        recorded and the remainder re-materialized later from a clone
+        (:meth:`_pool_refill`).  Blocks drawn while earlier blocks are
+        still pending contribute nothing to the pool yet (their turn
+        comes in FIFO order), so the physical pool always holds one
+        contiguous logical range.
+        """
+        window = self._service_window
+        blocks = self._service_pending.get(app_name)
+        if window is None or (size <= window and not blocks):
+            return self._draw_service_block(app_name, size)
+        state = self._rng.bit_generator.state
+        block = self._draw_service_block(app_name, size)
+        if blocks:
+            blocks.append([state, size, 0])
+            return block[:0]
+        keep = min(window, size)
+        if keep < size:
+            self._service_pending[app_name] = [[state, size, keep]]
+        return block[:keep].copy()
+
+    def _pool_refill(self, app_name: str) -> np.ndarray:
+        """Re-materialize the next window of the pending head block.
+
+        Replays the block's recorded draw on a cloned generator — same
+        state, same call, hence bit-identical values — and returns the
+        next unmaterialized slice.  The live RNG is untouched.
+        """
+        blocks = self._service_pending[app_name]
+        state, length, drawn = blocks[0]
+        bitgen = type(self._rng.bit_generator)()
+        bitgen.state = state
+        block = self._draw_service_block(
+            app_name, int(length), rng=np.random.Generator(bitgen)
+        )
+        window = self._service_window or int(length)
+        take = block[int(drawn) : int(drawn) + window].copy()
+        drawn = int(drawn) + len(take)
+        if drawn >= int(length):
+            blocks.pop(0)
+            if not blocks:
+                del self._service_pending[app_name]
+        else:
+            blocks[0][2] = drawn
+        return take
 
     def _service_time(self, app_name: str) -> float:
         """Next pre-sampled service time for ``app_name``.
 
-        The pool grows geometrically (doubling) when exhausted instead of
-        wrapping modulo its length — wrapping would replay the same sample
-        sequence and correlate service times across a long trace.
+        The pool grows geometrically (doubling, capped at
+        ``_POOL_BLOCK_MAX`` per block) when exhausted instead of
+        wrapping modulo its length — wrapping would replay the same
+        sample sequence and correlate service times across a long trace.
         """
         samples = self._service_samples.get(app_name)
         if samples is None:
-            samples = self._draw_service_block(app_name, _PRESAMPLE_COUNT)
+            samples = self._pool_grow_block(app_name, _PRESAMPLE_COUNT)
             self._service_samples[app_name] = samples
             self._service_cursor[app_name] = 0
         cursor = self._service_cursor[app_name]
-        if cursor >= len(samples):
-            fresh = self._draw_service_block(app_name, len(samples))
+        trim = self._service_trim.get(app_name, 0)
+        while cursor - trim >= len(samples):
+            if self._pool_pending(app_name):
+                fresh = self._pool_refill(app_name)
+            else:
+                # Logical length = discarded prefix + physical samples
+                # (no pending remainder at this point).
+                fresh = self._pool_grow_block(
+                    app_name, min(trim + len(samples), _POOL_BLOCK_MAX)
+                )
             samples = np.concatenate([samples, fresh])
             self._service_samples[app_name] = samples
         self._service_cursor[app_name] = cursor + 1
-        return float(samples[cursor])
+        return float(samples[cursor - trim])
 
     def run(
         self,
         trace: RequestTrace,
         sample_interval_seconds: float = 1.0,
         engine: str = "auto",
+        chunk_requests: Optional[int] = None,
     ) -> SimulationSeries:
         """Simulate ``trace`` and return the measurement series.
 
@@ -411,7 +510,14 @@ class RackSimulation:
         event-driven oracle, ``"vectorized"`` a fast path (the FCFS
         busy-period engine or, for keyed policies, the index-priority
         engine — unsorted traces transparently fall back to the oracle),
-        and ``"auto"`` (default) vectorizes whenever it can.
+        ``"streaming"`` the constant-memory chunked engines (bounded
+        chunks of at most ``chunk_requests`` arrivals folded into a
+        :class:`~repro.cluster.streaming.StreamedSeries` — bit-identical
+        decisions and RNG stream, no whole-trace arrays), and ``"auto"``
+        (default) vectorizes whenever it can.  ``chunk_requests`` is
+        only meaningful with ``engine="streaming"``; streamed trace
+        sources (:class:`~repro.cluster.trace.StreamedTrace`) *require*
+        that engine.
         """
         if sample_interval_seconds <= 0:
             raise ConfigurationError(
@@ -421,12 +527,46 @@ class RackSimulation:
             raise ConfigurationError(
                 f"unknown engine {engine!r}; expected one of {_ENGINES}"
             )
+        if chunk_requests is not None:
+            if isinstance(chunk_requests, bool) or not isinstance(
+                chunk_requests, int
+            ):
+                raise ConfigurationError(
+                    f"chunk_requests must be an int, got {chunk_requests!r}"
+                )
+            if chunk_requests <= 0:
+                raise ConfigurationError(
+                    f"chunk_requests must be positive, got {chunk_requests}"
+                )
+            if engine != "streaming":
+                raise ConfigurationError(
+                    "chunk_requests only applies to engine='streaming'; "
+                    f"got engine={engine!r}"
+                )
+        if not isinstance(trace, RequestTrace) and engine != "streaming":
+            raise ConfigurationError(
+                "streamed trace sources require engine='streaming'; "
+                f"got engine={engine!r} with {type(trace).__name__}"
+            )
 
         if self._policy_factory is not None:
             queue = self._policy_factory.build()
         else:
             queue = FCFSPolicy()
         self._last_policy = queue
+
+        if engine == "streaming":
+            from repro.cluster.streaming import run_streaming
+
+            if isinstance(trace, RequestTrace) and not self._time_ordered(
+                trace
+            ):
+                raise ConfigurationError(
+                    "engine='streaming' requires a time-ordered trace"
+                )
+            return run_streaming(
+                self, queue, trace, sample_interval_seconds, chunk_requests
+            )
 
         if self._control_active():
             # The control engines subsume the chaos dynamics (they take

@@ -130,6 +130,14 @@ class ScenarioResult:
     series: SimulationSeries
 
     @property
+    def completed_count(self) -> int:
+        """Completed requests, for either series representation."""
+        series = self.series
+        if hasattr(series, "completed_count"):
+            return int(series.completed_count)
+        return len(series.completed_latency_seconds)
+
+    @property
     def mean_latency_seconds(self) -> float:
         """Mean completed latency; NaN when the cell completed nothing.
 
@@ -138,20 +146,30 @@ class ScenarioResult:
         latency to average — NaN, matching the availability
         NaN-on-empty convention, rather than a misleading 0.0.
         """
-        if len(self.series.completed_latency_seconds) == 0:
+        if self.completed_count == 0:
             return float("nan")
         return self.series.mean_latency_seconds
 
     def latency_percentile(self, percentile: float) -> float:
-        """Completed-latency percentile; NaN when nothing completed."""
+        """Completed-latency percentile; NaN when nothing completed.
+
+        Exact over the materialized latency vector; under the streaming
+        engine the series is a
+        :class:`~repro.cluster.streaming.StreamedSeries`, which answers
+        from its quantile sketch (bin-resolution accurate) instead.
+        """
         if not 0 <= percentile <= 100:
             raise ConfigurationError(
                 f"percentile out of range: {percentile}"
             )
-        latencies = self.series.completed_latency_seconds
-        if len(latencies) == 0:
+        if self.completed_count == 0:
             return float("nan")
-        return float(np.percentile(latencies, percentile))
+        series = self.series
+        if hasattr(series, "latency_percentile"):
+            return float(series.latency_percentile(percentile))
+        return float(
+            np.percentile(series.completed_latency_seconds, percentile)
+        )
 
     @property
     def p95_latency_seconds(self) -> float:
@@ -283,12 +301,19 @@ class RackSweep:
         engine: str = "auto",
         reuse_service_samples: bool = True,
         priorities: Optional[Dict[str, int]] = None,
+        chunk_requests: Optional[int] = None,
     ) -> None:
+        if chunk_requests is not None and engine != "streaming":
+            raise ConfigurationError(
+                "chunk_requests only applies to engine='streaming'; "
+                f"got engine={engine!r}"
+            )
         self._context = context
         self._envelope = tuple(float(rate) for rate in rate_envelope)
         self._segment_seconds = segment_seconds
         self._sample_interval = sample_interval_seconds
         self._engine = engine
+        self._chunk_requests = chunk_requests
         self._caches: Optional[Dict[str, ServiceSampleCache]] = (
             {} if reuse_service_samples else None
         )
@@ -381,9 +406,15 @@ class RackSweep:
         )
         if trace is None:
             trace = self.trace_for(scenario.seed, scenario.rate_scale)
-        series = simulation.run(
-            trace, self._sample_interval, engine=self._engine
-        )
+        if self._engine == "streaming":
+            series = simulation.run(
+                trace, self._sample_interval, engine=self._engine,
+                chunk_requests=self._chunk_requests,
+            )
+        else:
+            series = simulation.run(
+                trace, self._sample_interval, engine=self._engine
+            )
         return ScenarioResult(scenario=scenario, series=series)
 
     def run(

@@ -40,10 +40,22 @@ from repro.experiments.registry import REGISTRY, Param
 
 
 def series_row(platform: str, series: SimulationSeries) -> dict:
-    """Flat per-platform record of one simulation's headline metrics."""
-    latencies = series.completed_latency_seconds
-    p95 = float(np.percentile(latencies, 95)) if len(latencies) else float("nan")
-    p99 = float(np.percentile(latencies, 99)) if len(latencies) else float("nan")
+    """Flat per-platform record of one simulation's headline metrics.
+
+    Accepts either a materialized :class:`SimulationSeries` (exact
+    percentiles over the latency vector) or a streaming-engine
+    :class:`~repro.cluster.streaming.StreamedSeries` (sketch
+    percentiles, bin-resolution accurate).
+    """
+    if hasattr(series, "completed_latency_seconds"):
+        latencies = series.completed_latency_seconds
+        completed = len(latencies)
+        p95 = float(np.percentile(latencies, 95)) if completed else float("nan")
+        p99 = float(np.percentile(latencies, 99)) if completed else float("nan")
+    else:
+        completed = series.completed_count
+        p95 = series.latency_percentile(95.0) if completed else float("nan")
+        p99 = series.latency_percentile(99.0) if completed else float("nan")
     return {
         "platform": platform,
         "requests": series.total_requests,
@@ -87,7 +99,13 @@ class AtScaleStudy:
         Param("max_instances", "int", 200, "fleet size per platform"),
         Param("seed", "int", 13, "trace + service RNG seed"),
         Param("rate_scale", "float", 1.0, "scale on the request-rate envelope"),
-        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event | streaming"),
+        Param(
+            "chunk_requests",
+            "int",
+            None,
+            "streaming-engine chunk size (requests per bounded chunk)",
+        ),
         Param("context", "object", None, cli=False),
     ),
     profiles={
@@ -96,13 +114,17 @@ class AtScaleStudy:
     },
     tags=("figure", "rack"),
 )
-def _experiment(ctx, max_instances, seed, rate_scale, engine, context=None):
+def _experiment(
+    ctx, max_instances, seed, rate_scale, engine,
+    chunk_requests=None, context=None,
+):
     study = _at_scale_study(
         max_instances=max_instances,
         seed=seed,
         context=context or ctx.suite_context([BASELINE_NAME, DSCS_NAME]),
         rate_scale=rate_scale,
         engine=engine,
+        chunk_requests=chunk_requests,
     )
     rows = [
         series_row(BASELINE_NAME, study.baseline),
@@ -117,6 +139,7 @@ def _at_scale_study(
     context: SuiteContext,
     rate_scale: float,
     engine: str,
+    chunk_requests=None,
 ) -> AtScaleStudy:
     app_names = context.app_names
     from repro.cluster.trace import DEFAULT_RATE_ENVELOPE
@@ -137,10 +160,13 @@ def _at_scale_study(
         max_instances=max_instances,
         seed=seed,
     )
+    run_kwargs = {"engine": engine}
+    if engine == "streaming":
+        run_kwargs["chunk_requests"] = chunk_requests
     return AtScaleStudy(
         trace=trace,
-        baseline=baseline_sim.run(trace, engine=engine),
-        dscs=dscs_sim.run(trace, engine=engine),
+        baseline=baseline_sim.run(trace, **run_kwargs),
+        dscs=dscs_sim.run(trace, **run_kwargs),
     )
 
 
@@ -150,6 +176,7 @@ def run(
     context: SuiteContext = None,
     rate_scale: float = 1.0,
     engine: str = "auto",
+    chunk_requests: int = None,
 ) -> AtScaleStudy:
     """Regenerate Fig. 13 end to end."""
     return REGISTRY.run(
@@ -159,6 +186,7 @@ def run(
         context=context,
         rate_scale=rate_scale,
         engine=engine,
+        chunk_requests=chunk_requests,
     ).study
 
 
@@ -171,10 +199,14 @@ def _run_scenario_grid(
     engine,
     context=None,
     priorities=None,
+    chunk_requests=None,
 ):
     """The shared fig13-sweep / fig13-policy runner body."""
     context = context or ctx.suite_context([BASELINE_NAME, DSCS_NAME])
-    harness = RackSweep(context, engine=engine, priorities=priorities)
+    harness = RackSweep(
+        context, engine=engine, priorities=priorities,
+        chunk_requests=chunk_requests,
+    )
     scenarios = scenario_grid(
         platforms=context.platform_names,
         rate_scales=rate_scales,
@@ -194,7 +226,13 @@ def _run_scenario_grid(
         Param("max_instances", "ints", (100, 200), "fleet sizes"),
         Param("policies", "strs", ("fcfs",), "scheduling policies"),
         Param("seed", "int", 13, "trace + service RNG seed"),
-        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event | streaming"),
+        Param(
+            "chunk_requests",
+            "int",
+            None,
+            "streaming-engine chunk size (requests per bounded chunk)",
+        ),
         Param("context", "object", None, cli=False),
     ),
     profiles={
@@ -204,10 +242,12 @@ def _run_scenario_grid(
     tags=("figure", "rack", "sweep"),
 )
 def _sweep_experiment(
-    ctx, rate_scales, max_instances, policies, seed, engine, context=None
+    ctx, rate_scales, max_instances, policies, seed, engine,
+    chunk_requests=None, context=None,
 ):
     return _run_scenario_grid(
-        ctx, rate_scales, max_instances, policies, seed, engine, context
+        ctx, rate_scales, max_instances, policies, seed, engine, context,
+        chunk_requests=chunk_requests,
     )
 
 
@@ -218,6 +258,7 @@ def sweep(
     seed: int = 13,
     context: SuiteContext = None,
     engine: str = "auto",
+    chunk_requests: int = None,
 ) -> List[ScenarioResult]:
     """The Fig. 13 study as a scenario grid over both platforms.
 
@@ -233,6 +274,7 @@ def sweep(
         seed=seed,
         context=context,
         engine=engine,
+        chunk_requests=chunk_requests,
     ).study
 
 
@@ -281,7 +323,13 @@ def _policy_headline(results) -> str:
             "(default: deterministic alphabetical ranking)",
         ),
         Param("seed", "int", 13, "trace + service RNG seed"),
-        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event | streaming"),
+        Param(
+            "chunk_requests",
+            "int",
+            None,
+            "streaming-engine chunk size (requests per bounded chunk)",
+        ),
         Param("context", "object", None, cli=False),
     ),
     profiles={
@@ -301,6 +349,7 @@ def _policy_experiment(
     priorities,
     seed,
     engine,
+    chunk_requests=None,
     context=None,
 ):
     return _run_scenario_grid(
@@ -312,6 +361,7 @@ def _policy_experiment(
         engine,
         context,
         priorities=_parse_priorities(priorities),
+        chunk_requests=chunk_requests,
     )
 
 
@@ -343,6 +393,7 @@ def policy_sweep(
     seed: int = 13,
     context: SuiteContext = None,
     engine: str = "auto",
+    chunk_requests: int = None,
 ) -> List[ScenarioResult]:
     """The Fig. 13 grid crossed with every scheduling policy.
 
@@ -362,4 +413,5 @@ def policy_sweep(
         seed=seed,
         context=context,
         engine=engine,
+        chunk_requests=chunk_requests,
     ).study

@@ -191,7 +191,13 @@ def _fleet_headline(results: Dict[Tuple[float, str, str], FleetResult]):
             "(sketch cross-check scale only)",
         ),
         Param("seed", "int", 13, "fleet trace + rack-seed master seed"),
-        Param("engine", "str", "auto", "rack engine: auto | vectorized | event"),
+        Param("engine", "str", "auto", "rack engine: auto | vectorized | event | streaming"),
+        Param(
+            "chunk_requests",
+            "int",
+            None,
+            "streaming-engine chunk size (requests per bounded chunk)",
+        ),
         Param("context", "object", None, cli=False),
     ),
     profiles={
@@ -223,6 +229,7 @@ def _fleet_experiment(
     keep_latencies,
     seed,
     engine,
+    chunk_requests=None,
     context=None,
 ):
     context = context or ctx.suite_context(list(_PLATFORMS))
@@ -249,6 +256,7 @@ def _fleet_experiment(
                     balancer=GlobalLoadBalancer(str(lb_policy)),
                     engine=engine,
                     keep_latencies=bool(keep_latencies),
+                    chunk_requests=chunk_requests,
                 )
                 result = runner.run(topology, trace, workers=workers)
                 results[
@@ -271,6 +279,7 @@ def run_fleet(
     keep_latencies: bool = False,
     seed: int = 13,
     engine: str = "auto",
+    chunk_requests: int = None,
     context=None,
 ) -> FleetStudy:
     """The Fig. 13 workload sharded across a multi-rack fleet."""
@@ -286,5 +295,6 @@ def run_fleet(
         keep_latencies=keep_latencies,
         seed=seed,
         engine=engine,
+        chunk_requests=chunk_requests,
         context=context,
     ).study

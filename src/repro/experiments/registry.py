@@ -355,6 +355,9 @@ class ExperimentRegistry:
             # None means serial.  Recorded so a sharded artifact is
             # reproducible from the JSON alone.
             "workers": recorded.get("workers"),
+            # Effective chunking mode: None means a materialized engine
+            # (or the streaming default chunk size was used).
+            "chunk_requests": recorded.get("chunk_requests"),
             "git": git_describe(),
             "python": _platform.python_version(),
             "wall_time_s": round(wall_seconds, 6),

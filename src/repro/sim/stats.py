@@ -156,6 +156,28 @@ class QuantileSketch:
         return int(self._counts.sum())
 
     @property
+    def bin_counts(self) -> np.ndarray:
+        """A copy of the raw bin counts (underflow, bins..., overflow)."""
+        return self._counts.copy()
+
+    def identical_to(self, other: "QuantileSketch") -> bool:
+        """Exact accumulator equality: config, bin counts, min and max.
+
+        Deliberately ignores the running ``_sum``: numpy's pairwise
+        summation makes it depend on how samples were batched, so two
+        sketches over the same multiset folded in different chunkings
+        can differ there in the last bit while every query that matters
+        (counts, percentiles, endpoints) is identical.
+        """
+        return (
+            isinstance(other, QuantileSketch)
+            and self.config == other.config
+            and np.array_equal(self._counts, other._counts)
+            and self._min == other._min
+            and self._max == other._max
+        )
+
+    @property
     def minimum(self) -> float:
         return float(self._min) if self.count else float("nan")
 
